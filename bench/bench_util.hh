@@ -1,0 +1,35 @@
+/** Shared presentation helpers for the table/figure benches. */
+
+#ifndef RISC1_BENCH_BENCH_UTIL_HH
+#define RISC1_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+namespace risc1::bench {
+
+/** Print a bench banner: experiment id, title, and the paper claim. */
+inline void
+banner(const std::string &experiment, const std::string &title,
+       const std::string &paperClaim)
+{
+    std::cout << "==================================================="
+                 "=========================\n"
+              << experiment << ": " << title << "\n"
+              << "Paper expectation: " << paperClaim << "\n"
+              << "==================================================="
+                 "=========================\n\n";
+}
+
+inline std::string
+percent(double fraction, int decimals = 1)
+{
+    const double value = fraction * 100.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+    return buf;
+}
+
+} // namespace risc1::bench
+
+#endif // RISC1_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,119 @@
+/**
+ * Experiment E6 — delayed-branch slot utilisation (paper claim: a
+ * simple reorganiser fills most delay slots with useful work, hiding
+ * the transfer bubble).  Compares the naive (NOP-filled) and
+ * reorganised forms of a copy/sum kernel, then reports slot usage
+ * across the hand-scheduled workload suite.
+ */
+
+#include <iostream>
+
+#include "analysis/delay_slots.hh"
+#include "analysis/reorganizer.hh"
+#include "asm/assembler.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+namespace {
+
+DelaySlotStats
+runProgram(const Program &prog, std::uint64_t &cycles,
+           std::uint32_t &checksum)
+{
+    Machine m;
+    m.loadProgram(prog);
+    m.run();
+    cycles = m.stats().cycles;
+    checksum = m.reg(1);
+    return delaySlotStats(m.stats());
+}
+
+DelaySlotStats
+runKernel(const std::string &source, std::uint64_t &cycles,
+          std::uint32_t &checksum)
+{
+    return runProgram(assembleRisc(source), cycles, checksum);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "E6", "Delayed-branch slot utilisation",
+        "the reorganiser converts NOP slots into useful work; "
+        "optimised code fills most slots and runs measurably faster");
+
+    std::uint64_t naiveCycles = 0, reorgCycles = 0;
+    std::uint32_t naiveChk = 0, reorgChk = 0;
+    const DelaySlotStats naive =
+        runKernel(naiveKernelSource(), naiveCycles, naiveChk);
+    const DelaySlotStats reorg =
+        runKernel(reorganisedKernelSource(), reorgCycles, reorgChk);
+
+    // Third row: the automatic reorganiser pass applied to the naive
+    // schedule (the paper's "simple software" claim made literal).
+    std::uint64_t autoCycles = 0;
+    std::uint32_t autoChk = 0;
+    const ReorgResult autoPass =
+        fillDelaySlots(assembleRisc(naiveKernelSource()));
+    const DelaySlotStats autoStats =
+        runProgram(autoPass.program, autoCycles, autoChk);
+
+    Table kernel({"kernel schedule", "cycles", "slots", "useful slots",
+                  "useful %", "checksum"});
+    kernel.addRow({"naive (NOP slots)", Table::num(naiveCycles),
+                   Table::num(naive.slotsExecuted),
+                   Table::num(naive.usefulSlots()),
+                   bench::percent(naive.usefulFraction()),
+                   Table::num(std::uint64_t{naiveChk})});
+    kernel.addRow({"auto-reorganised (" +
+                       std::to_string(autoPass.slotsFilled) +
+                       " slot(s) filled)",
+                   Table::num(autoCycles),
+                   Table::num(autoStats.slotsExecuted),
+                   Table::num(autoStats.usefulSlots()),
+                   bench::percent(autoStats.usefulFraction()),
+                   Table::num(std::uint64_t{autoChk})});
+    kernel.addRow({"hand-reorganised", Table::num(reorgCycles),
+                   Table::num(reorg.slotsExecuted),
+                   Table::num(reorg.usefulSlots()),
+                   bench::percent(reorg.usefulFraction()),
+                   Table::num(std::uint64_t{reorgChk})});
+    kernel.print(std::cout);
+    std::cout << "cycle saving from reorganisation: "
+              << Table::num(100.0 *
+                                (1.0 - static_cast<double>(reorgCycles) /
+                                           static_cast<double>(
+                                               naiveCycles)),
+                            1)
+              << "%\n\n";
+
+    std::cout << "Slot utilisation across the workload suite "
+                 "(hand-scheduled sources):\n";
+    Table suite({"workload", "slots executed", "useful", "useful %"});
+    std::uint64_t slots = 0, nops = 0;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun run = runRiscWorkload(w);
+        const DelaySlotStats ds = delaySlotStats(run.stats);
+        suite.addRow({w.id, Table::num(ds.slotsExecuted),
+                      Table::num(ds.usefulSlots()),
+                      bench::percent(ds.usefulFraction())});
+        slots += ds.slotsExecuted;
+        nops += ds.nopSlots;
+    }
+    suite.addSeparator();
+    suite.addRow({"ALL", Table::num(slots), Table::num(slots - nops),
+                  bench::percent(slots ? 1.0 - static_cast<double>(
+                                                   nops) /
+                                                   static_cast<double>(
+                                                       slots)
+                                       : 0.0)});
+    suite.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * Extension X1 — instruction-cache sensitivity (the follow-on study
+ * the paper's fetch-bandwidth discussion motivates, pursued by the
+ * Berkeley project after RISC I): sweep a direct-mapped i-cache from
+ * 64 B to 8 KiB and report miss rate and cycle overhead.  Small
+ * caches already capture the loop-dominated workloads, blunting the
+ * E2b fetch premium.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "asm/assembler.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "X1", "Instruction-cache sweep (extension study)",
+        "a small on-chip i-cache captures the loops, removing most of "
+        "the fixed-size-instruction fetch premium");
+
+    const std::vector<std::uint32_t> sizes = {64,  128,  256, 512,
+                                              1024, 4096, 8192};
+
+    std::vector<std::string> headers = {"workload", "no-cache cycles"};
+    for (const auto size : sizes)
+        headers.push_back(std::to_string(size) + "B miss%");
+    Table table(std::move(headers));
+
+    for (const auto &w : allWorkloads()) {
+        const RiscRun base = runRiscWorkload(w);
+        std::vector<std::string> row = {
+            w.id, Table::num(base.stats.cycles)};
+        for (const auto size : sizes) {
+            MachineConfig cfg;
+            cfg.icache = CacheConfig{size, 16, 4};
+            Machine m(cfg);
+            m.loadProgram(assembleRisc(w.riscSource));
+            m.run();
+            row.push_back(bench::percent(
+                1.0 - m.icacheStats().hitRate()));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMiss penalty modelled at 4 cycles; geometry: "
+                 "direct-mapped, 16-byte lines.\nStatic code is "
+                 "small (<300 bytes/workload), so caches >= 512 B hold "
+                 "entire\nprograms and miss only on cold start.\n";
+    return 0;
+}

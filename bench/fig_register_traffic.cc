@@ -1,0 +1,77 @@
+/**
+ * Experiment E7 — operand locality (paper claim behind the load/store
+ * architecture): with a large windowed register file, almost all
+ * operand references hit registers; the CISC's memory addressing
+ * modes push a large share of operand traffic to memory.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E7", "Operand locality: register vs memory references",
+        "RISC I serves the overwhelming share of operand references "
+        "from registers; the CISC moves far more operand traffic "
+        "through memory (addressing modes + call frames)");
+
+    Table table({"workload", "RISC reg refs", "RISC mem refs",
+                 "RISC reg %", "CISC reg refs", "CISC mem refs",
+                 "CISC reg %"});
+
+    std::uint64_t riscReg = 0, riscMem = 0, vaxReg = 0, vaxMem = 0;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun r = runRiscWorkload(w);
+        const VaxRun v = runVaxWorkload(w);
+
+        const std::uint64_t rReg =
+            r.stats.regOperandReads + r.stats.regOperandWrites;
+        const std::uint64_t rMem = r.stats.dataAccesses();
+        const std::uint64_t vReg =
+            v.stats.regOperandReads + v.stats.regOperandWrites;
+        const std::uint64_t vMem = v.stats.dataAccesses();
+
+        table.addRow({
+            w.id,
+            Table::num(rReg),
+            Table::num(rMem),
+            bench::percent(static_cast<double>(rReg) /
+                           static_cast<double>(rReg + rMem)),
+            Table::num(vReg),
+            Table::num(vMem),
+            bench::percent(static_cast<double>(vReg) /
+                           static_cast<double>(vReg + vMem)),
+        });
+        riscReg += rReg;
+        riscMem += rMem;
+        vaxReg += vReg;
+        vaxMem += vMem;
+    }
+
+    table.addSeparator();
+    table.addRow({
+        "ALL",
+        Table::num(riscReg),
+        Table::num(riscMem),
+        bench::percent(static_cast<double>(riscReg) /
+                       static_cast<double>(riscReg + riscMem)),
+        Table::num(vaxReg),
+        Table::num(vaxMem),
+        bench::percent(static_cast<double>(vaxReg) /
+                       static_cast<double>(vaxReg + vaxMem)),
+    });
+    table.print(std::cout);
+
+    std::cout << "\nmem refs = data loads/stores incl. window spill "
+                 "traffic (RISC) and operand +\nstack accesses "
+                 "(CISC); register windows keep locals and parameters "
+                 "on chip.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * Experiment E5 — window overflow rate vs number of windows (paper
+ * figure: "how many register window sets are needed?").  Replays the
+ * call traces of the call-intensive workloads against register files
+ * of 2..16 windows; with ~8 windows overflows become rare.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/window_analyzer.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E5", "Window overflow rate vs number of windows",
+        "overflow percentage falls steeply with file size; with ~8 "
+        "windows only a small percentage of calls overflow");
+
+    // Collect one call trace per call-intensive workload.
+    std::vector<std::pair<std::string, std::vector<CallEvent>>> traces;
+    for (const auto &w : allWorkloads()) {
+        if (!w.callIntensive)
+            continue;
+        const RiscRun run = runRiscWorkload(w, MachineConfig{}, true);
+        traces.emplace_back(w.id, run.callTrace);
+    }
+
+    std::vector<std::string> headers = {"windows"};
+    for (const auto &[id, trace] : traces)
+        headers.push_back(id);
+    headers.push_back("mean");
+    Table table(std::move(headers));
+
+    for (const unsigned windows :
+         {2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 16u}) {
+        std::vector<std::string> row = {std::to_string(windows)};
+        double sum = 0.0;
+        for (const auto &[id, trace] : traces) {
+            const auto a = analyzeWindows(trace, windows);
+            row.push_back(bench::percent(a.overflowRate()));
+            sum += a.overflowRate();
+        }
+        row.push_back(
+            bench::percent(sum / static_cast<double>(traces.size())));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    // Companion data: the call-depth profile behind the curve.
+    std::cout << "\nCall-depth profile per workload:\n";
+    Table profile({"workload", "calls", "max depth", "mean depth"});
+    for (const auto &[id, trace] : traces) {
+        const CallProfile p = profileCalls(trace);
+        profile.addRow({id, Table::num(p.calls),
+                        std::to_string(p.maxDepth),
+                        Table::num(p.meanDepth, 1)});
+    }
+    profile.print(std::cout);
+    return 0;
+}

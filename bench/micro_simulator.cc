@@ -1,0 +1,159 @@
+/**
+ * M1 — infrastructure microbenchmarks (google-benchmark): simulator
+ * throughput, instruction encode/decode, the two assemblers, and the
+ * window-analyzer replay.  These validate that the harness itself is
+ * fast enough for the parameter sweeps the experiments run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/window_analyzer.hh"
+#include "asm/assembler.hh"
+#include "common/random.hh"
+#include "core/machine.hh"
+#include "isa/disasm.hh"
+#include "vax/vassembler.hh"
+#include "vax/vmachine.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+BM_RiscSimulatorThroughput(benchmark::State &state)
+{
+    const Workload &w = findWorkload("sieve");
+    const Program prog = assembleRisc(w.riscSource);
+    Machine m;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        m.loadProgram(prog);
+        m.run();
+        instructions += m.stats().instructions;
+    }
+    state.counters["sim_MIPS"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RiscSimulatorThroughput);
+
+void
+BM_VaxSimulatorThroughput(benchmark::State &state)
+{
+    const Workload &w = findWorkload("sieve");
+    const Program prog = assembleVax(w.vaxSource);
+    VaxMachine m;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        m.loadProgram(prog);
+        m.run();
+        instructions += m.stats().instructions;
+    }
+    state.counters["sim_MIPS"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VaxSimulatorThroughput);
+
+void
+BM_EncodeDecodeRoundTrip(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<Instruction> insts;
+    for (int i = 0; i < 1024; ++i) {
+        Instruction inst = Instruction::aluImm(
+            Opcode::Add, static_cast<unsigned>(rng.below(32)),
+            static_cast<unsigned>(rng.below(32)),
+            static_cast<std::int32_t>(rng.range(-4096, 4095)));
+        insts.push_back(inst);
+    }
+    for (auto _ : state) {
+        std::uint32_t acc = 0;
+        for (const auto &inst : insts)
+            acc ^= Instruction::decode(inst.encode()).encode();
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void
+BM_RiscAssembler(benchmark::State &state)
+{
+    const Workload &w = findWorkload("qsort_rec");
+    for (auto _ : state) {
+        const Program prog = assembleRisc(w.riscSource);
+        benchmark::DoNotOptimize(prog.entry);
+    }
+}
+BENCHMARK(BM_RiscAssembler);
+
+void
+BM_VaxAssembler(benchmark::State &state)
+{
+    const Workload &w = findWorkload("qsort_rec");
+    for (auto _ : state) {
+        const Program prog = assembleVax(w.vaxSource);
+        benchmark::DoNotOptimize(prog.entry);
+    }
+}
+BENCHMARK(BM_VaxAssembler);
+
+void
+BM_Disassembler(benchmark::State &state)
+{
+    const Instruction inst = Instruction::alu(Opcode::Add, 1, 2, 3);
+    for (auto _ : state) {
+        const std::string text = disassemble(inst);
+        benchmark::DoNotOptimize(text.data());
+    }
+}
+BENCHMARK(BM_Disassembler);
+
+void
+BM_WindowAnalyzerReplay(benchmark::State &state)
+{
+    const Workload &w = findWorkload("fib_rec");
+    const RiscRun run = runRiscWorkload(w, MachineConfig{}, true);
+    for (auto _ : state) {
+        const auto a = analyzeWindows(run.callTrace,
+                                      static_cast<unsigned>(
+                                          state.range(0)));
+        benchmark::DoNotOptimize(a.overflows);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                run.callTrace.size()));
+}
+BENCHMARK(BM_WindowAnalyzerReplay)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_WindowedCallReturn(benchmark::State &state)
+{
+    // Cost of simulating one call/return pair with windows.
+    Machine m;
+    const Program prog = assembleRisc(R"(
+start:  ldi   r2, 100000
+loop:   call  leaf
+        nop
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt
+leaf:   ret
+        nop
+)");
+    for (auto _ : state) {
+        m.loadProgram(prog);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().calls);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_WindowedCallReturn);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * Experiments E4 + E8 — procedure-call cost (paper Table: cost of
+ * CALL/RETURN with register windows vs conventional conventions).
+ * Measures, per call/return pair: execution cycles and data-memory
+ * words moved, on three machines:
+ *   1. RISC I with overlapping register windows (the contribution)
+ *   2. RISC I with the no-window ablation (software save/restore)
+ *   3. the CISC baseline's frame-building CALLS/RET
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E4/E8", "Procedure-call cost: windows vs memory frames",
+        "windows make calls nearly free (near-zero data-memory words "
+        "per call); conventional schemes move a frame through memory "
+        "every call");
+
+    Table table({"workload", "calls", "win cyc/call", "win words/call",
+                 "nowin cyc/call", "nowin words/call", "CISC cyc/call",
+                 "CISC words/call"});
+
+    for (const auto &w : allWorkloads()) {
+        if (!w.callIntensive)
+            continue;
+
+        const RiscRun windowed = runRiscWorkload(w);
+        MachineConfig flatCfg;
+        flatCfg.windowedCalls = false;
+        const RiscRun flat = runRiscWorkload(w, flatCfg);
+        const VaxRun cisc = runVaxWorkload(w);
+
+        const double calls = static_cast<double>(windowed.stats.calls);
+
+        // Marginal per-call figures: total data traffic attributable
+        // to calls = trap/save traffic (program loads/stores are the
+        // algorithm's own and identical across configurations).
+        const double winWords =
+            static_cast<double>(windowed.stats.spillWords +
+                                windowed.stats.fillWords) /
+            calls;
+        const double flatWords =
+            static_cast<double>(flat.stats.softSaveWords +
+                                flat.stats.softRestoreWords) /
+            calls;
+        // CISC: everything except the algorithm's own accesses.  Use
+        // the RISC program loads/stores as the algorithm baseline.
+        const double ciscCallWords =
+            (static_cast<double>(cisc.stats.dataAccesses()) -
+             static_cast<double>(windowed.stats.loadCount +
+                                 windowed.stats.storeCount)) /
+            static_cast<double>(cisc.stats.calls);
+
+        const double winCyc =
+            static_cast<double>(windowed.stats.cycles) / calls;
+        const double flatCyc =
+            static_cast<double>(flat.stats.cycles) / calls;
+        const double ciscCyc = static_cast<double>(cisc.stats.cycles) /
+                               static_cast<double>(cisc.stats.calls);
+
+        table.addRow({
+            w.id,
+            Table::num(windowed.stats.calls),
+            Table::num(winCyc, 1),
+            Table::num(winWords, 1),
+            Table::num(flatCyc, 1),
+            Table::num(flatWords, 1),
+            Table::num(ciscCyc, 1),
+            Table::num(std::max(0.0, ciscCallWords), 1),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\ncyc/call columns include the whole program (algorithm + "
+           "linkage), so they\nshow total cost; words/call isolates "
+           "the call-linkage memory traffic that the\npaper's windows "
+           "eliminate (E8).  Window traps only spill on deep "
+           "excursions,\nso the windowed words/call stays near zero "
+           "while frames pay every call.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * Experiment E2 — relative static program size (paper Table: "RISC I
+ * program size relative to the VAX-11/780").  The reduced ISA costs
+ * surprisingly little code density: typically ~1.2-1.5x the CISC
+ * bytes, staying below ~2x.
+ */
+
+#include <iostream>
+
+#include "analysis/codesize.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E2", "Static program size: RISC I vs the CISC baseline",
+        "RISC I code is larger, but typically only ~1.2-1.5x and at "
+        "most ~2x the CISC bytes");
+
+    Table table({"workload", "RISC bytes", "RISC instrs", "CISC bytes",
+                 "CISC instrs", "CISC B/instr", "size ratio"});
+
+    double ratioSum = 0.0;
+    double ratioMax = 0.0;
+    std::uint64_t riscTotal = 0, vaxTotal = 0;
+    int count = 0;
+    for (const auto &w : allWorkloads()) {
+        const CodeSize size = measureCodeSize(w);
+        table.addRow({
+            w.id,
+            Table::num(size.riscBytes),
+            Table::num(size.riscInstructions),
+            Table::num(size.vaxBytes),
+            Table::num(size.vaxInstructions),
+            Table::num(size.vaxMeanInstrBytes(), 2),
+            Table::num(size.byteRatio(), 2),
+        });
+        ratioSum += size.byteRatio();
+        ratioMax = std::max(ratioMax, size.byteRatio());
+        riscTotal += size.riscBytes;
+        vaxTotal += size.vaxBytes;
+        ++count;
+    }
+
+    table.addSeparator();
+    table.addRow({
+        "ALL",
+        Table::num(riscTotal),
+        "",
+        Table::num(vaxTotal),
+        "",
+        "",
+        Table::num(static_cast<double>(riscTotal) /
+                       static_cast<double>(vaxTotal),
+                   2),
+    });
+    table.print(std::cout);
+
+    std::cout << "\nmean ratio: " << Table::num(ratioSum / count, 2)
+              << "   max ratio: " << Table::num(ratioMax, 2) << "\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * Experiment E3 — relative execution time (paper Table: "benchmark
+ * execution time, RISC I vs VAX-11/780 and others").  RISC I executes
+ * more instructions, but each takes one short cycle; the microcoded
+ * CISC averages several cycles per instruction, so RISC I finishes
+ * ~2-4x sooner at equal cycle time.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E3", "Execution time: RISC I vs the CISC baseline (cycles)",
+        "RISC I runs ~2-4x faster despite executing more instructions "
+        "(its CPI is near 1; the microcoded CISC is ~5-10)");
+
+    Table table({"workload", "RISC instrs", "RISC cycles", "RISC CPI",
+                 "CISC instrs", "CISC cycles", "CISC CPI",
+                 "instr ratio", "speedup"});
+
+    double speedupProduct = 1.0;
+    int count = 0;
+    std::uint64_t riscCycles = 0, vaxCycles = 0;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun r = runRiscWorkload(w);
+        const VaxRun v = runVaxWorkload(w);
+        const double riscCpi =
+            static_cast<double>(r.stats.cycles) /
+            static_cast<double>(r.stats.instructions);
+        const double vaxCpi =
+            static_cast<double>(v.stats.cycles) /
+            static_cast<double>(v.stats.instructions);
+        const double speedup = static_cast<double>(v.stats.cycles) /
+                               static_cast<double>(r.stats.cycles);
+        table.addRow({
+            w.id,
+            Table::num(r.stats.instructions),
+            Table::num(r.stats.cycles),
+            Table::num(riscCpi, 2),
+            Table::num(v.stats.instructions),
+            Table::num(v.stats.cycles),
+            Table::num(vaxCpi, 2),
+            Table::num(static_cast<double>(r.stats.instructions) /
+                           static_cast<double>(v.stats.instructions),
+                       2),
+            Table::num(speedup, 2),
+        });
+        speedupProduct *= speedup;
+        ++count;
+        riscCycles += r.stats.cycles;
+        vaxCycles += v.stats.cycles;
+    }
+
+    table.addSeparator();
+    table.addRow({
+        "ALL", "", Table::num(riscCycles), "", "",
+        Table::num(vaxCycles), "", "",
+        Table::num(static_cast<double>(vaxCycles) /
+                       static_cast<double>(riscCycles),
+                   2),
+    });
+    table.print(std::cout);
+
+    std::cout << "\ngeometric-mean speedup: "
+              << Table::num(std::pow(speedupProduct, 1.0 / count), 2)
+              << "x (cycles at equal cycle time)\n";
+    return 0;
+}

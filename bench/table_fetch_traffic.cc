@@ -1,0 +1,70 @@
+/**
+ * Experiment E2b — instruction-fetch bandwidth (the paper's candidly
+ * acknowledged cost of fixed 32-bit instructions): RISC I executes
+ * more, uniformly-sized instructions and therefore pulls more
+ * instruction bytes from memory than the byte-packed CISC.  The
+ * paper's argument is that this is the right trade: the simple fetch
+ * path is what enables the one-cycle pipeline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E2b", "Instruction bytes fetched: RISC I vs the CISC baseline",
+        "RISC I fetches ~1.5-2.5x more instruction bytes (the cost of "
+        "fixed-size instructions) yet still wins on total cycles");
+
+    Table table({"workload", "RISC fetch bytes", "CISC fetch bytes",
+                 "fetch ratio", "RISC data bytes", "CISC data bytes",
+                 "cycles speedup"});
+
+    std::uint64_t rTotal = 0, vTotal = 0;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun r = runRiscWorkload(w);
+        const VaxRun v = runVaxWorkload(w);
+        const std::uint64_t rFetch = r.mem.fetches * 4;
+        const std::uint64_t vFetch = v.stats.instrBytes;
+        table.addRow({
+            w.id,
+            Table::num(rFetch),
+            Table::num(vFetch),
+            Table::num(static_cast<double>(rFetch) /
+                           static_cast<double>(vFetch),
+                       2),
+            Table::num(r.mem.bytesRead + r.mem.bytesWritten),
+            Table::num(v.mem.bytesRead + v.mem.bytesWritten),
+            Table::num(static_cast<double>(v.stats.cycles) /
+                           static_cast<double>(r.stats.cycles),
+                       2),
+        });
+        rTotal += rFetch;
+        vTotal += vFetch;
+    }
+    table.addSeparator();
+    table.addRow({
+        "ALL",
+        Table::num(rTotal),
+        Table::num(vTotal),
+        Table::num(static_cast<double>(rTotal) /
+                       static_cast<double>(vTotal),
+                   2),
+        "", "", "",
+    });
+    table.print(std::cout);
+
+    std::cout << "\nThe fetch-bandwidth premium is the price of the "
+                 "single-format pipeline; the\npaper's claim is that "
+                 "cycles — not bytes — decide performance, and the "
+                 "last\ncolumn shows RISC I ahead everywhere despite "
+                 "the premium.\n";
+    return 0;
+}

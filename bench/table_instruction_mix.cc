@@ -1,0 +1,79 @@
+/**
+ * Experiment E1 — dynamic instruction mix (the paper's motivation
+ * measurements): high-level-language programs spend their time in
+ * simple operations, with procedure calls a large and expensive share.
+ * Regenerates the per-class dynamic mix for every workload on RISC I.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "E1", "Dynamic instruction mix on RISC I",
+        "simple ALU/load/store ops dominate; call/return is a visible "
+        "share of call-intensive HLL programs (the motivation for "
+        "register windows)");
+
+    Table table({"workload", "instrs", "alu", "load", "store", "jump",
+                 "call/ret", "calls/1k instr"});
+
+    RunStats total;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun run = runRiscWorkload(w);
+        const RunStats &s = run.stats;
+        const auto frac = [&](InstClass cls) {
+            return bench::percent(
+                static_cast<double>(s.classCount(cls)) /
+                static_cast<double>(s.instructions));
+        };
+        table.addRow({
+            w.id,
+            Table::num(s.instructions),
+            frac(InstClass::Alu),
+            frac(InstClass::Load),
+            frac(InstClass::Store),
+            frac(InstClass::Jump),
+            frac(InstClass::CallRet),
+            Table::num(1000.0 * static_cast<double>(s.calls) /
+                           static_cast<double>(s.instructions),
+                       1),
+        });
+        total.instructions += s.instructions;
+        total.calls += s.calls;
+        for (std::size_t c = 0; c < total.perClass.size(); ++c)
+            total.perClass[c] += s.perClass[c];
+    }
+
+    table.addSeparator();
+    const auto totFrac = [&](InstClass cls) {
+        return bench::percent(
+            static_cast<double>(total.classCount(cls)) /
+            static_cast<double>(total.instructions));
+    };
+    table.addRow({
+        "ALL",
+        Table::num(total.instructions),
+        totFrac(InstClass::Alu),
+        totFrac(InstClass::Load),
+        totFrac(InstClass::Store),
+        totFrac(InstClass::Jump),
+        totFrac(InstClass::CallRet),
+        Table::num(1000.0 * static_cast<double>(total.calls) /
+                       static_cast<double>(total.instructions),
+                   1),
+    });
+    table.print(std::cout);
+
+    std::cout << "\nNote: each CALL/RETURN pair on a conventional "
+                 "machine moves a full frame\nthrough memory; the mix "
+                 "above is why the paper spends silicon on windows.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Ablation A1 — register-file configurations (DESIGN.md design-choice
+ * ablation): the resource-constrained 6-window "Gold"-class file vs
+ * the full 8-window design the paper argues for, vs the no-window
+ * ablation (software save/restore).  Shows what the extra windows buy
+ * and what removing them costs.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main()
+{
+    bench::banner(
+        "A1", "Register-file ablation: 6 windows vs 8 vs none",
+        "the full 8-window file removes most residual overflow traps "
+        "of the smaller file; dropping windows entirely reintroduces "
+        "per-call memory traffic");
+
+    Table table({"workload", "cfg", "cycles", "ovf", "unf",
+                 "call mem words", "vs full"});
+
+    for (const auto &w : allWorkloads()) {
+        if (!w.callIntensive)
+            continue;
+
+        MachineConfig full;  // 8 windows
+        MachineConfig gold;
+        gold.windows = WindowConfig::gold();
+        MachineConfig none;
+        none.windowedCalls = false;
+
+        const RiscRun rFull = runRiscWorkload(w, full);
+        const RiscRun rGold = runRiscWorkload(w, gold);
+        const RiscRun rNone = runRiscWorkload(w, none);
+
+        const auto callWords = [](const RiscRun &r) {
+            return r.stats.spillWords + r.stats.fillWords +
+                   r.stats.softSaveWords + r.stats.softRestoreWords;
+        };
+        const auto row = [&](const char *name, const RiscRun &r) {
+            table.addRow({
+                w.id,
+                name,
+                Table::num(r.stats.cycles),
+                Table::num(r.stats.windowOverflows),
+                Table::num(r.stats.windowUnderflows),
+                Table::num(callWords(r)),
+                Table::num(static_cast<double>(r.stats.cycles) /
+                               static_cast<double>(rFull.stats.cycles),
+                           2),
+            });
+        };
+        row("full-8w", rFull);
+        row("gold-6w", rGold);
+        row("no-win", rNone);
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\n'call mem words' = spill/fill traffic (windowed) "
+                 "or software save/restore\ntraffic (no-win); 'vs "
+                 "full' = cycle ratio against the 8-window design.\n";
+    return 0;
+}

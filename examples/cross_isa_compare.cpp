@@ -1,0 +1,73 @@
+/**
+ * Cross-ISA comparison: run one workload from the registered suite on
+ * both simulated machines and print the paper's comparison metrics
+ * side by side.
+ *
+ *   $ ./cross_isa_compare [workload-id]
+ *   $ ./cross_isa_compare --list
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string arg = argc > 1 ? argv[1] : "fib_rec";
+    if (arg == "--list") {
+        for (const auto &w : allWorkloads())
+            std::cout << w.id << "  -  " << w.name << " ["
+                      << w.provenance << "]\n";
+        return 0;
+    }
+
+    const Workload &workload = findWorkload(arg);
+    std::cout << "workload: " << workload.name << "\n"
+              << "provenance: " << workload.provenance << "\n\n";
+
+    const RiscRun r = runRiscWorkload(workload);
+    const VaxRun v = runVaxWorkload(workload);
+
+    Table table({"metric", "RISC I", "CISC baseline"});
+    table.addRow({"checksum", Table::num(std::uint64_t{r.checksum}),
+                  Table::num(std::uint64_t{v.checksum})});
+    table.addRow({"static code bytes", Table::num(r.codeBytes),
+                  Table::num(v.codeBytes)});
+    table.addRow({"instructions executed",
+                  Table::num(r.stats.instructions),
+                  Table::num(v.stats.instructions)});
+    table.addRow({"cycles", Table::num(r.stats.cycles),
+                  Table::num(v.stats.cycles)});
+    table.addRow(
+        {"CPI",
+         Table::num(static_cast<double>(r.stats.cycles) /
+                        static_cast<double>(r.stats.instructions),
+                    2),
+         Table::num(static_cast<double>(v.stats.cycles) /
+                        static_cast<double>(v.stats.instructions),
+                    2)});
+    table.addRow({"calls", Table::num(r.stats.calls),
+                  Table::num(v.stats.calls)});
+    table.addRow({"data memory accesses",
+                  Table::num(r.stats.dataAccesses()),
+                  Table::num(v.stats.dataAccesses())});
+    table.addRow({"window overflow traps",
+                  Table::num(r.stats.windowOverflows), "-"});
+    table.print(std::cout);
+
+    std::cout << "\nspeedup (CISC cycles / RISC cycles): "
+              << Table::num(static_cast<double>(v.stats.cycles) /
+                                static_cast<double>(r.stats.cycles),
+                            2)
+              << "x\ncode-size ratio (RISC / CISC): "
+              << Table::num(static_cast<double>(r.codeBytes) /
+                                static_cast<double>(v.codeBytes),
+                            2)
+              << "x\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * ISA reference: prints the paper's Table I equivalent — the complete
+ * 31-instruction RISC I set with formats, classes, and an example
+ * rendering of each instruction through the disassembler.
+ *
+ *   $ ./isa_reference
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+
+using namespace risc1;
+
+namespace {
+
+const char *
+className(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Alu: return "arithmetic/logic";
+      case InstClass::Load: return "memory load";
+      case InstClass::Store: return "memory store";
+      case InstClass::Jump: return "jump";
+      case InstClass::CallRet: return "call/return";
+      case InstClass::Special: return "special";
+    }
+    return "?";
+}
+
+/** A representative instance of each opcode for the example column. */
+Instruction
+sample(const OpcodeInfo &info)
+{
+    switch (info.op) {
+      case Opcode::Ldhi:
+        return Instruction::ldhi(1, 0x123);
+      case Opcode::Jmp:
+        return Instruction::jmp(Cond::Eq, 2, 8);
+      case Opcode::Jmpr:
+        return Instruction::jmpr(Cond::Alw, -16);
+      case Opcode::Call:
+        return Instruction::call(31, 2, 0);
+      case Opcode::Callr:
+        return Instruction::callr(31, 64);
+      case Opcode::Ret:
+        return Instruction::ret(31, 8);
+      case Opcode::Reti: {
+        Instruction inst = Instruction::ret(31, 8);
+        inst.op = Opcode::Reti;
+        return inst;
+      }
+      case Opcode::Calli: {
+        Instruction inst;
+        inst.op = Opcode::Calli;
+        inst.rd = 16;
+        return inst;
+      }
+      case Opcode::Gtlpc:
+      case Opcode::Getpsw: {
+        Instruction inst;
+        inst.op = info.op;
+        inst.rd = 1;
+        return inst;
+      }
+      case Opcode::Putpsw: {
+        Instruction inst;
+        inst.op = Opcode::Putpsw;
+        inst.rs1 = 1;
+        return inst;
+      }
+      default:
+        if (info.cls == InstClass::Load)
+            return Instruction::load(info.op, 1, 2, 4);
+        if (info.cls == InstClass::Store)
+            return Instruction::store(info.op, 1, 2, 4);
+        return Instruction::alu(info.op, 1, 2, 3);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "RISC I instruction set (" << numOpcodes
+              << " instructions, two 32-bit formats)\n\n";
+
+    Table table({"#", "mnemonic", "class", "format", "scc?", "example",
+                 "encoding"});
+    for (int i = 0; i < numOpcodes; ++i) {
+        const OpcodeInfo &info = allOpcodes()[i];
+        const Instruction inst = sample(info);
+        char hex[16];
+        std::snprintf(hex, sizeof(hex), "0x%08x", inst.encode());
+        table.addRow({
+            std::to_string(i + 1),
+            std::string(info.mnemonic),
+            className(info.cls),
+            info.format == Format::Short ? "short" : "long(Y)",
+            info.maySetCc ? "yes" : "no",
+            disassemble(inst),
+            hex,
+        });
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nVisible registers: r0 (=0), r1-r9 global, r10-r15 LOW "
+           "(outgoing args),\nr16-r25 LOCAL, r26-r31 HIGH (incoming "
+           "args).  CALL slides the window so the\ncaller's LOW "
+           "becomes the callee's HIGH; every transfer has one delay "
+           "slot.\n";
+    return 0;
+}

@@ -1,0 +1,21 @@
+; fib.s — recursive Fibonacci(18) through the register windows.
+start:  ldi   r10, 18
+        call  fib
+        nop
+        mov   r1, r10
+        halt
+fib:    cmp   r26, 2
+        bge   rec
+        nop
+        ret
+        nop
+rec:    sub   r10, r26, 1
+        call  fib
+        nop
+        mov   r16, r10
+        sub   r10, r26, 2
+        call  fib
+        nop
+        add   r26, r16, r10
+        ret
+        nop

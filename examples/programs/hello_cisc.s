@@ -1,0 +1,9 @@
+; hello_cisc.s — CISC baseline demo: sum an array with memory operands.
+start:  clrl  r0
+        moval data, r1
+        movl  #6, r2
+loop:   addl2 (r1)+, r0
+        sobgtr r2, loop
+        halt
+        .align 4
+data:   .word 1, 1, 2, 3, 5, 8

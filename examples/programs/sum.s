@@ -1,0 +1,9 @@
+; sum.s — sum the integers 1..100 into r1, then halt.
+start:  clr   r1
+        ldi   r2, 100
+loop:   add   r1, r1, r2
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt

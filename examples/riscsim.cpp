@@ -1,0 +1,192 @@
+/**
+ * riscsim — the command-line driver: assemble and run a RISC I (or
+ * CISC baseline) assembly file and report results.
+ *
+ *   $ ./riscsim prog.s                 # run on RISC I
+ *   $ ./riscsim --cisc prog.s          # run on the CISC baseline
+ *   $ ./riscsim --windows 4 prog.s     # window-count override
+ *   $ ./riscsim --no-windows prog.s    # single-window ablation
+ *   $ ./riscsim --trace prog.s         # per-instruction trace
+ *   $ ./riscsim --disasm prog.s        # disassemble, don't run
+ *   $ ./riscsim --reorganize prog.s    # fill delay slots, then run
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/reorganizer.hh"
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "core/machine.hh"
+#include "isa/disasm.hh"
+#include "vax/vassembler.hh"
+#include "vax/vdisasm.hh"
+#include "vax/vmachine.hh"
+
+using namespace risc1;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: riscsim [--cisc] [--windows N] [--no-windows] "
+                 "[--trace] [--disasm]\n               [--max-steps N] "
+                 "<file.s>\n";
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '" + path + "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+int
+runRisc(const std::string &source, unsigned windows, bool windowed,
+        bool trace, bool disasmOnly, bool reorganize,
+        std::uint64_t maxSteps)
+{
+    Program program = assembleRisc(source);
+    if (reorganize) {
+        ReorgResult result = fillDelaySlots(program);
+        std::cout << "reorganiser: " << result.slotsFilled << " of "
+                  << result.candidates << " nop slot(s) filled\n";
+        program = std::move(result.program);
+    }
+
+    if (disasmOnly) {
+        for (const auto &seg : program.segments) {
+            if (seg.kind != SegmentKind::Code)
+                continue;
+            for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+                std::uint32_t word = 0;
+                for (int b = 3; b >= 0; --b)
+                    word = (word << 8) |
+                           seg.bytes[i + static_cast<std::size_t>(b)];
+                const std::uint32_t addr =
+                    seg.base + static_cast<std::uint32_t>(i);
+                std::printf("%08x:  %08x  %s\n", addr, word,
+                            disassembleWord(word).c_str());
+            }
+        }
+        return 0;
+    }
+
+    MachineConfig config;
+    config.windows.numWindows = windows;
+    config.windowedCalls = windowed;
+    Machine machine(config);
+    machine.loadProgram(program);
+    if (trace) {
+        machine.setTraceHook(
+            [](std::uint32_t pc, const Instruction &inst) {
+                std::printf("%08x:  %s\n", pc,
+                            disassemble(inst).c_str());
+            });
+    }
+    machine.run(maxSteps);
+
+    std::cout << machine.stats().summary() << "registers:\n";
+    for (unsigned r = 0; r < 32; r += 4) {
+        for (unsigned c = 0; c < 4; ++c)
+            std::printf("  r%-2u = %10u", r + c, machine.reg(r + c));
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+runCisc(const std::string &source, bool disasmOnly,
+        std::uint64_t maxSteps)
+{
+    const Program program = assembleVax(source);
+    if (disasmOnly) {
+        for (const auto &seg : program.segments) {
+            if (seg.kind != SegmentKind::Code)
+                continue;
+            for (const auto &line :
+                 vaxDisassembleBlock(seg.bytes, seg.base))
+                std::printf("%08x:  %s\n", line.address,
+                            line.text.c_str());
+        }
+        return 0;
+    }
+
+    VaxMachine machine;
+    machine.loadProgram(program);
+    machine.run(maxSteps);
+
+    const VaxStats &s = machine.stats();
+    std::cout << "cycles:       " << s.cycles << "\n"
+              << "instructions: " << s.instructions << "\n"
+              << "CPI:          "
+              << static_cast<double>(s.cycles) /
+                     static_cast<double>(s.instructions)
+              << "\n"
+              << "calls:        " << s.calls << "\n"
+              << "data refs:    " << s.dataAccesses() << "\nregisters:\n";
+    for (unsigned r = 0; r < 16; r += 4) {
+        for (unsigned c = 0; c < 4; ++c)
+            std::printf("  r%-2u = %10u", r + c, machine.reg(r + c));
+        std::printf("\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool cisc = false, trace = false, disasmOnly = false;
+    bool reorganize = false;
+    bool windowed = true;
+    unsigned windows = 8;
+    std::uint64_t maxSteps = 200'000'000;
+    std::string path;
+
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--cisc") {
+            cisc = true;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--disasm") {
+            disasmOnly = true;
+        } else if (arg == "--reorganize") {
+            reorganize = true;
+        } else if (arg == "--no-windows") {
+            windowed = false;
+        } else if (arg == "--windows" && i + 1 < args.size()) {
+            windows = static_cast<unsigned>(std::stoul(args[++i]));
+        } else if (arg == "--max-steps" && i + 1 < args.size()) {
+            maxSteps = std::stoull(args[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    try {
+        const std::string source = readFile(path);
+        return cisc ? runCisc(source, disasmOnly, maxSteps)
+                    : runRisc(source, windows, windowed, trace,
+                              disasmOnly, reorganize, maxSteps);
+    } catch (const FatalError &e) {
+        std::cerr << "riscsim: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,102 @@
+#include "analysis/codesize.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+#include "vax/visa.hh"
+
+namespace risc1 {
+
+namespace {
+
+/** Byte length of one operand specifier starting at bytes[pos]. */
+std::size_t
+specifierLength(const std::vector<std::uint8_t> &bytes, std::size_t pos)
+{
+    if (pos >= bytes.size())
+        fatal("truncated instruction while scanning code segment");
+    const std::uint8_t spec = bytes[pos];
+    const unsigned mode = spec >> 4;
+    const unsigned rn = spec & 0xf;
+    switch (mode) {
+      case 0x0:
+      case 0x1:
+      case 0x2:
+      case 0x3:
+        return 1;  // short literal
+      case 0x5:
+      case 0x6:
+      case 0x7:
+        return 1;  // register / deferred / autodecrement
+      case 0x8:
+        return rn == vaxPc ? 5 : 1;  // immediate vs autoincrement
+      case 0x9:
+        return rn == vaxPc ? 5 : 1;  // absolute
+      case 0xa:
+        return 2;  // byte displacement
+      case 0xc:
+        return 3;  // word displacement
+      case 0xe:
+        return 5;  // long displacement
+      default:
+        fatal(cat("bad specifier mode nibble 0x", std::hex, mode,
+                  " while scanning code"));
+    }
+}
+
+} // namespace
+
+std::uint64_t
+vaxStaticInstrCount(const Program &program)
+{
+    std::uint64_t count = 0;
+    for (const auto &seg : program.segments) {
+        if (seg.kind != SegmentKind::Code)
+            continue;
+        std::size_t pos = 0;
+        while (pos < seg.bytes.size()) {
+            const auto op = static_cast<VaxOpcode>(seg.bytes[pos]);
+            const VaxOpInfo *info = vaxOpcodeInfo(op);
+            if (!info) {
+                // Entry masks (.mask) are interleaved with code; they
+                // are always 2 bytes and are always the target of a
+                // CALLS, never fallen into, so we can only reach one
+                // here when a procedure label follows linearly.  Skip
+                // 2 bytes and keep scanning.
+                pos += 2;
+                continue;
+            }
+            ++pos;
+            for (unsigned i = 0; i < info->numOperands; ++i) {
+                switch (info->operands[i]) {
+                  case VaxOpndUse::Branch8:
+                    pos += 1;
+                    break;
+                  case VaxOpndUse::Branch16:
+                    pos += 2;
+                    break;
+                  default:
+                    pos += specifierLength(seg.bytes, pos);
+                    break;
+                }
+            }
+            ++count;
+        }
+    }
+    return count;
+}
+
+CodeSize
+measureCodeSize(const Workload &workload)
+{
+    CodeSize size;
+    const Program risc = assembleRisc(workload.riscSource);
+    const Program vax = assembleVax(workload.vaxSource);
+    size.riscBytes = risc.codeBytes();
+    size.riscInstructions = risc.staticInstructions;
+    size.vaxBytes = vax.codeBytes();
+    size.vaxInstructions = vax.staticInstructions;
+    return size;
+}
+
+} // namespace risc1

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static code-size analysis for the program-size comparison table:
+ * code bytes and static instruction counts on both architectures
+ * (the CISC count requires walking its variable-length encoding).
+ */
+
+#ifndef RISC1_ANALYSIS_CODESIZE_HH
+#define RISC1_ANALYSIS_CODESIZE_HH
+
+#include <cstdint>
+
+#include "common/program.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+
+/** Static size measurements for one workload on both ISAs. */
+struct CodeSize
+{
+    std::uint64_t riscBytes = 0;
+    std::uint64_t riscInstructions = 0;
+    std::uint64_t vaxBytes = 0;
+    std::uint64_t vaxInstructions = 0;
+
+    /** RISC bytes / CISC bytes — the table's headline ratio. */
+    double
+    byteRatio() const
+    {
+        return vaxBytes ? static_cast<double>(riscBytes) /
+                              static_cast<double>(vaxBytes)
+                        : 0.0;
+    }
+
+    /** Mean CISC instruction length in bytes. */
+    double
+    vaxMeanInstrBytes() const
+    {
+        return vaxInstructions
+                   ? static_cast<double>(vaxBytes) /
+                         static_cast<double>(vaxInstructions)
+                   : 0.0;
+    }
+};
+
+/** Assemble both sources of @p workload and measure static sizes. */
+CodeSize measureCodeSize(const Workload &workload);
+
+/**
+ * Count instructions in the code segments of an assembled CISC
+ * program by walking its variable-length encoding.
+ */
+std::uint64_t vaxStaticInstrCount(const Program &program);
+
+} // namespace risc1
+
+#endif // RISC1_ANALYSIS_CODESIZE_HH

@@ -1,0 +1,91 @@
+#include "analysis/delay_slots.hh"
+
+namespace risc1 {
+
+DelaySlotStats
+delaySlotStats(const RunStats &stats)
+{
+    DelaySlotStats ds;
+    ds.slotsExecuted = stats.delaySlotsExecuted;
+    ds.nopSlots = stats.delaySlotNops;
+    return ds;
+}
+
+namespace {
+
+/**
+ * The kernel: copy-and-sum a 128-word block.  In the naive form
+ * every transfer is followed by a NOP; the reorganised form moves the
+ * loop-update instructions into the slots.  The checksum lands in r1
+ * so both versions can be verified against each other.
+ */
+const char *const kNaive = R"(
+; Naive schedule: every delay slot is a NOP.
+start:  ldi   r2, src
+        ldi   r3, dst
+        ldi   r4, 128
+        clr   r1
+loop:   ldl   r5, (r2)
+        stl   r5, (r3)
+        add   r1, r1, r5
+        add   r2, r2, 4
+        add   r3, r3, 4
+        dec   r4
+        cmp   r4, 0
+        bne   loop
+        nop                   ; unfilled delay slot
+        halt
+        .align 4
+src:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .word 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5
+        .word 0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7
+        .word 5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2
+        .word 3, 0, 7, 8, 1, 6, 4, 0, 6, 2, 8, 6, 2, 0, 8, 9
+        .word 9, 8, 6, 2, 8, 0, 3, 4, 8, 2, 5, 3, 4, 2, 1, 1
+        .word 7, 0, 6, 7, 9, 8, 2, 1, 4, 8, 0, 8, 6, 5, 1, 3
+        .word 2, 8, 2, 3, 0, 6, 6, 4, 7, 0, 9, 3, 8, 4, 4, 6
+dst:    .space 512
+)";
+
+const char *const kReorganised = R"(
+; Reorganised schedule: the loop-update rides in the delay slot.
+start:  ldi   r2, src
+        ldi   r3, dst
+        ldi   r4, 128
+        clr   r1
+loop:   ldl   r5, (r2)
+        stl   r5, (r3)
+        add   r1, r1, r5
+        add   r2, r2, 4
+        dec   r4
+        cmp   r4, 0
+        bne   loop
+        add   r3, r3, 4       ; filled delay slot
+        halt
+        .align 4
+src:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .word 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5
+        .word 0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7
+        .word 5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2
+        .word 3, 0, 7, 8, 1, 6, 4, 0, 6, 2, 8, 6, 2, 0, 8, 9
+        .word 9, 8, 6, 2, 8, 0, 3, 4, 8, 2, 5, 3, 4, 2, 1, 1
+        .word 7, 0, 6, 7, 9, 8, 2, 1, 4, 8, 0, 8, 6, 5, 1, 3
+        .word 2, 8, 2, 3, 0, 6, 6, 4, 7, 0, 9, 3, 8, 4, 4, 6
+dst:    .space 512
+)";
+
+} // namespace
+
+std::string
+naiveKernelSource()
+{
+    return kNaive;
+}
+
+std::string
+reorganisedKernelSource()
+{
+    return kReorganised;
+}
+
+} // namespace risc1

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural validation of the paper's timing claim.
+ *
+ * The Machine charges cycles analytically (1 per register-register
+ * instruction, 2 per load/store).  The paper justifies those numbers
+ * with RISC I's two-stage pipeline: fetch and execute overlap, and a
+ * load/store occupies the single memory port for one extra cycle,
+ * stalling the next fetch.  This module replays an executed
+ * instruction-class trace through that structural model, cycle by
+ * cycle, so tests can prove the analytic and structural timings agree
+ * exactly on every workload.
+ */
+
+#ifndef RISC1_ANALYSIS_PIPELINE_MODEL_HH
+#define RISC1_ANALYSIS_PIPELINE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace risc1 {
+
+/** Result of a structural pipeline replay. */
+struct PipelineResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t fetchStalls = 0;  ///< fetches delayed by the mem port
+};
+
+/**
+ * Replay @p classes (the dynamic instruction-class sequence) through
+ * the two-stage pipeline: each instruction executes for one cycle;
+ * loads and stores additionally occupy the memory port for one cycle,
+ * during which the next instruction cannot be fetched.
+ */
+PipelineResult simulateTwoStage(const std::vector<InstClass> &classes);
+
+} // namespace risc1
+
+#endif // RISC1_ANALYSIS_PIPELINE_MODEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The delay-slot reorganiser — the paper's companion software tool.
+ *
+ * Rewrites an assembled RISC I program, filling branch delay slots:
+ * the pattern
+ *
+ *     X            ; an ALU/load instruction not setting cond codes
+ *     jmpr c, T
+ *     nop          ; unfilled slot
+ *
+ * becomes
+ *
+ *     jmpr c, T'   ; displacement adjusted for the one-word move
+ *     X            ; now rides in the delay slot
+ *     nop          ; dead on the taken path
+ *
+ * so the taken path executes one fewer instruction.  The transform is
+ * applied only when provably safe: the moved instruction must not set
+ * the condition codes the branch reads, must not itself transfer
+ * control, and no symbol or statically-known transfer target may point
+ * into the rewritten triple.  Only pc-relative branches (jmpr) are
+ * rewritten: a CALL/RET delay slot executes in the new register
+ * window, so hoisting caller-window code into it would change meaning.
+ */
+
+#ifndef RISC1_ANALYSIS_REORGANIZER_HH
+#define RISC1_ANALYSIS_REORGANIZER_HH
+
+#include <cstdint>
+
+#include "common/program.hh"
+
+namespace risc1 {
+
+/** Result of a reorganisation pass. */
+struct ReorgResult
+{
+    Program program;        ///< the rewritten image
+    unsigned slotsFilled = 0;
+    unsigned candidates = 0; ///< nop-slot branches examined
+};
+
+/** Run the delay-slot filling pass over @p program. */
+ReorgResult fillDelaySlots(const Program &program);
+
+} // namespace risc1
+
+#endif // RISC1_ANALYSIS_REORGANIZER_HH

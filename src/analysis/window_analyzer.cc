@@ -1,0 +1,81 @@
+#include "analysis/window_analyzer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+WindowAnalysis
+analyzeWindows(const std::vector<CallEvent> &trace, unsigned numWindows)
+{
+    if (numWindows < 2)
+        fatal("window analysis needs at least 2 windows");
+
+    WindowAnalysis result;
+    result.numWindows = numWindows;
+    const unsigned capacity = numWindows - 1;
+
+    unsigned resident = 1;  // the top-level frame
+    unsigned saved = 0;
+    std::int64_t depth = 0;
+
+    for (const CallEvent ev : trace) {
+        if (ev == CallEvent::Call) {
+            ++result.calls;
+            ++depth;
+            result.maxDepth = std::max(result.maxDepth, depth);
+            if (resident == capacity) {
+                ++result.overflows;
+                --resident;
+                ++saved;
+            }
+            ++resident;
+        } else {
+            ++result.returns;
+            if (depth == 0)
+                fatal("call trace returns past the top level");
+            --depth;
+            --resident;
+            if (resident == 0) {
+                if (saved == 0)
+                    panic("window analysis underflow with empty stack");
+                ++result.underflows;
+                --saved;
+                resident = 1;
+            }
+        }
+    }
+    return result;
+}
+
+CallProfile
+profileCalls(const std::vector<CallEvent> &trace, std::size_t maxHistDepth)
+{
+    CallProfile profile;
+    profile.depthHistogram.assign(maxHistDepth + 1, 0);
+
+    std::int64_t depth = 0;
+    double depthSum = 0.0;
+    for (const CallEvent ev : trace) {
+        if (ev == CallEvent::Call) {
+            ++depth;
+            ++profile.calls;
+            depthSum += static_cast<double>(depth);
+            profile.maxDepth = std::max(profile.maxDepth, depth);
+            const auto bucket = std::min<std::size_t>(
+                static_cast<std::size_t>(depth), maxHistDepth);
+            ++profile.depthHistogram[bucket];
+        } else {
+            if (depth == 0)
+                fatal("call trace returns past the top level");
+            --depth;
+        }
+    }
+    profile.meanDepth =
+        profile.calls ? depthSum / static_cast<double>(profile.calls)
+                      : 0.0;
+    return profile;
+}
+
+} // namespace risc1

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Window-overflow analysis: replay a call/return trace against a
+ * hypothetical register file with any number of windows and count the
+ * overflow/underflow traps it would take — the tool behind the
+ * paper's "how many windows are enough?" figure.
+ */
+
+#ifndef RISC1_ANALYSIS_WINDOW_ANALYZER_HH
+#define RISC1_ANALYSIS_WINDOW_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace risc1 {
+
+/** Result of replaying one trace against one window count. */
+struct WindowAnalysis
+{
+    unsigned numWindows = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t underflows = 0;
+    std::int64_t maxDepth = 0;
+
+    /** Fraction of calls that overflow (0 when there are no calls). */
+    double
+    overflowRate() const
+    {
+        return calls ? static_cast<double>(overflows) /
+                           static_cast<double>(calls)
+                     : 0.0;
+    }
+
+    /** Memory words moved by traps (16 per overflow + 16 per fill). */
+    std::uint64_t
+    trapWords(unsigned frameSize = 16) const
+    {
+        return (overflows + underflows) * frameSize;
+    }
+};
+
+/**
+ * Replay @p trace against a file of @p numWindows windows using the
+ * same residency discipline as the Machine (capacity = windows - 1,
+ * spill the oldest frame on overflow, refill one frame on underflow).
+ */
+WindowAnalysis analyzeWindows(const std::vector<CallEvent> &trace,
+                              unsigned numWindows);
+
+/** Depth profile of a call trace. */
+struct CallProfile
+{
+    std::uint64_t calls = 0;
+    std::int64_t maxDepth = 0;
+    double meanDepth = 0.0;
+    /** histogram[d] = number of calls entered at depth d (clamped). */
+    std::vector<std::uint64_t> depthHistogram;
+};
+
+/** Compute the depth profile of a call/return trace. */
+CallProfile profileCalls(const std::vector<CallEvent> &trace,
+                         std::size_t maxHistDepth = 32);
+
+} // namespace risc1
+
+#endif // RISC1_ANALYSIS_WINDOW_ANALYZER_HH

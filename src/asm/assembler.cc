@@ -1,0 +1,683 @@
+#include "asm/assembler.hh"
+
+#include <optional>
+#include <vector>
+
+#include "asm/parser.hh"
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace risc1 {
+
+namespace {
+
+/** Pseudo-branch table: b<cond> label -> jmpr cond, label. */
+std::optional<Cond>
+branchPseudo(const std::string &mnemonic)
+{
+    if (mnemonic == "bra")
+        return Cond::Alw;
+    if (mnemonic.size() < 2 || mnemonic[0] != 'b')
+        return std::nullopt;
+    return condFromName(mnemonic.substr(1));
+}
+
+/** ALU mnemonic lookup with optional trailing-'s' scc suffix. */
+struct AluMatch
+{
+    Opcode op;
+    bool scc;
+};
+
+std::optional<AluMatch>
+aluMnemonic(const std::string &mnemonic)
+{
+    if (auto op = opcodeFromMnemonic(mnemonic)) {
+        if (opcodeInfo(*op)->cls == InstClass::Alu &&
+            *op != Opcode::Ldhi)
+            return AluMatch{*op, false};
+        return std::nullopt;
+    }
+    if (mnemonic.size() > 1 && mnemonic.back() == 's') {
+        const std::string base = mnemonic.substr(0, mnemonic.size() - 1);
+        if (auto op = opcodeFromMnemonic(base)) {
+            if (opcodeInfo(*op)->cls == InstClass::Alu &&
+                *op != Opcode::Ldhi)
+                return AluMatch{*op, true};
+        }
+    }
+    return std::nullopt;
+}
+
+/** Split a 32-bit constant into ldhi/add parts that recombine exactly. */
+struct SplitImm
+{
+    std::int32_t hi19;
+    std::int32_t lo13;
+};
+
+SplitImm
+splitImmediate(std::int64_t value)
+{
+    const auto v = static_cast<std::uint32_t>(value);
+    const std::int32_t lo = sext(v & 0x1fff, 13);
+    const std::uint32_t hiPart =
+        v - static_cast<std::uint32_t>(lo);
+    SplitImm s;
+    s.lo13 = lo;
+    s.hi19 = static_cast<std::int32_t>(hiPart >> 13) & 0x7ffff;
+    // ldhi sign-extends its 19-bit field before shifting; keep the raw
+    // field value in signed range for the encoder.
+    s.hi19 = sext(static_cast<std::uint32_t>(s.hi19), 19);
+    return s;
+}
+
+class RiscAssembler
+{
+  public:
+    RiscAssembler(const std::string &source, const AsmOptions &options)
+        : options_(options), stmts_(parseRiscSource(source))
+    {}
+
+    Program
+    assemble()
+    {
+        passOne();
+        passTwo();
+        resolveEntry();
+        return std::move(program_);
+    }
+
+  private:
+    // -- Error helper ---------------------------------------------------
+    [[noreturn]] void
+    err(const Stmt &stmt, const std::string &msg)
+    {
+        fatal(cat("line ", stmt.line, ": ", msg));
+    }
+
+    // -- Operand interpretation ------------------------------------------
+    unsigned
+    wantReg(const Stmt &stmt, std::size_t idx)
+    {
+        if (idx >= stmt.operands.size() ||
+            stmt.operands[idx].kind != OperandKind::Reg)
+            err(stmt, cat("operand ", idx + 1, " of '", stmt.mnemonic,
+                          "' must be a register"));
+        return stmt.operands[idx].reg;
+    }
+
+    std::int64_t
+    evalExpr(const Stmt &stmt, const Expr &expr)
+    {
+        for (const auto &t : expr.terms)
+            if (t.isSymbol && !symbols_.contains(t.symbol))
+                err(stmt, cat("undefined symbol '", t.symbol, "'"));
+        return expr.eval(symbols_, stmt.address);
+    }
+
+    Cond
+    wantCond(const Stmt &stmt, std::size_t idx)
+    {
+        if (idx < stmt.operands.size() &&
+            stmt.operands[idx].kind == OperandKind::Expr) {
+            if (auto sym = stmt.operands[idx].expr.asBareSymbol())
+                if (auto cond = condFromName(*sym))
+                    return *cond;
+        }
+        err(stmt, cat("operand ", idx + 1, " of '", stmt.mnemonic,
+                      "' must be a condition (alw, eq, ne, ...)"));
+    }
+
+    std::int32_t
+    checkImm13(const Stmt &stmt, std::int64_t value)
+    {
+        if (!fitsSigned(value, 13))
+            err(stmt, cat("immediate ", value,
+                          " does not fit in 13 bits"));
+        return static_cast<std::int32_t>(value);
+    }
+
+    std::int32_t
+    checkImm19(const Stmt &stmt, std::int64_t value)
+    {
+        if (!fitsSigned(value, 19))
+            err(stmt, cat("offset ", value,
+                          " does not fit in 19 bits (too far?)"));
+        return static_cast<std::int32_t>(value);
+    }
+
+    /** Fill rs1/imm/rs2 of @p inst from an s2-style operand. */
+    void
+    applyS2(const Stmt &stmt, Instruction &inst, const Operand &op)
+    {
+        if (op.kind == OperandKind::Reg) {
+            inst.imm = false;
+            inst.rs2 = static_cast<std::uint8_t>(op.reg);
+        } else if (op.kind == OperandKind::Expr) {
+            inst.imm = true;
+            inst.simm13 = checkImm13(stmt, evalExpr(stmt, op.expr));
+        } else {
+            err(stmt, "bad s2 operand (register or expression expected)");
+        }
+    }
+
+    /**
+     * Fill address operands (rs1 + s2) from the tail of the operand
+     * list starting at @p idx: accepts "expr(rN)", "(rN)", "expr"
+     * (absolute, rs1 = r0), or "rN, s2".
+     */
+    void
+    applyAddress(const Stmt &stmt, Instruction &inst, std::size_t idx)
+    {
+        if (idx >= stmt.operands.size())
+            err(stmt, "missing address operand");
+        const Operand &op = stmt.operands[idx];
+        if (op.kind == OperandKind::Mem) {
+            if (idx + 1 != stmt.operands.size())
+                err(stmt, "trailing operands after address");
+            inst.rs1 = static_cast<std::uint8_t>(op.reg);
+            inst.imm = true;
+            inst.simm13 = checkImm13(stmt, evalExpr(stmt, op.expr));
+        } else if (op.kind == OperandKind::Expr &&
+                   idx + 1 == stmt.operands.size()) {
+            inst.rs1 = 0;
+            inst.imm = true;
+            inst.simm13 = checkImm13(stmt, evalExpr(stmt, op.expr));
+        } else if (op.kind == OperandKind::Reg &&
+                   idx + 2 == stmt.operands.size()) {
+            inst.rs1 = static_cast<std::uint8_t>(op.reg);
+            applyS2(stmt, inst, stmt.operands[idx + 1]);
+        } else {
+            err(stmt, "bad address operand: use off(rN), rN, s2, or "
+                      "an absolute expression");
+        }
+    }
+
+    // -- Instruction expansion -------------------------------------------
+
+    /** Number of machine words a statement expands to (pass 1). */
+    unsigned
+    instructionWords(Stmt &stmt)
+    {
+        const std::string &m = stmt.mnemonic;
+        if (m == "ldi" || m == "mov") {
+            // mov rd, rN is a single add; constants may need ldhi+add.
+            if (stmt.operands.size() == 2 &&
+                stmt.operands[1].kind == OperandKind::Reg)
+                return 1;
+            if (stmt.operands.size() == 2 &&
+                stmt.operands[1].kind == OperandKind::Expr &&
+                stmt.operands[1].expr.resolvable(symbols_)) {
+                const std::int64_t v =
+                    stmt.operands[1].expr.eval(symbols_, stmt.address);
+                if (fitsSigned(v, 13))
+                    return 1;
+            }
+            return 2;
+        }
+        return 1;
+    }
+
+    /** Expand one instruction statement to machine instructions. */
+    std::vector<Instruction>
+    expand(const Stmt &stmt)
+    {
+        const std::string &m = stmt.mnemonic;
+        std::vector<Instruction> out;
+        auto countIs = [&](std::size_t n) {
+            if (stmt.operands.size() != n)
+                err(stmt, cat("'", m, "' takes ", n, " operand(s), got ",
+                              stmt.operands.size()));
+        };
+
+        // ---- ALU (with scc suffix handling) ----
+        if (auto alu = aluMnemonic(m)) {
+            countIs(3);
+            Instruction inst;
+            inst.op = alu->op;
+            inst.scc = alu->scc;
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            inst.rs1 = static_cast<std::uint8_t>(wantReg(stmt, 1));
+            applyS2(stmt, inst, stmt.operands[2]);
+            out.push_back(inst);
+            return out;
+        }
+
+        // ---- Pseudo-instructions ----
+        if (m == "nop") {
+            countIs(0);
+            out.push_back(Instruction::nop());
+            return out;
+        }
+        if (m == "halt") {
+            countIs(0);
+            out.push_back(Instruction::jmpr(Cond::Alw, 0));
+            return out;
+        }
+        if (m == "clr") {
+            countIs(1);
+            out.push_back(Instruction::aluImm(Opcode::Add,
+                                              wantReg(stmt, 0), 0, 0));
+            return out;
+        }
+        if (m == "inc" || m == "dec") {
+            const unsigned rd = wantReg(stmt, 0);
+            std::int64_t amount = 1;
+            if (stmt.operands.size() == 2)
+                amount = evalExpr(stmt, stmt.operands[1].expr);
+            else if (stmt.operands.size() != 1)
+                err(stmt, cat("'", m, "' takes 1 or 2 operands"));
+            out.push_back(Instruction::aluImm(
+                m == "inc" ? Opcode::Add : Opcode::Sub, rd, rd,
+                checkImm13(stmt, amount)));
+            return out;
+        }
+        if (m == "cmp") {
+            countIs(2);
+            Instruction inst;
+            inst.op = Opcode::Sub;
+            inst.scc = true;
+            inst.rd = 0;
+            inst.rs1 = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            applyS2(stmt, inst, stmt.operands[1]);
+            out.push_back(inst);
+            return out;
+        }
+        if (m == "not") {
+            countIs(2);
+            out.push_back(Instruction::aluImm(
+                Opcode::Xor, wantReg(stmt, 0), wantReg(stmt, 1), -1));
+            return out;
+        }
+        if (m == "neg") {
+            countIs(2);
+            out.push_back(Instruction::aluImm(
+                Opcode::Subr, wantReg(stmt, 0), wantReg(stmt, 1), 0));
+            return out;
+        }
+        if (m == "ldi" || m == "mov") {
+            countIs(2);
+            const unsigned rd = wantReg(stmt, 0);
+            if (stmt.operands[1].kind == OperandKind::Reg) {
+                out.push_back(Instruction::aluImm(
+                    Opcode::Add, rd, stmt.operands[1].reg, 0));
+                return out;
+            }
+            if (stmt.operands[1].kind != OperandKind::Expr)
+                err(stmt, "second operand of ldi/mov must be a register "
+                          "or expression");
+            const std::int64_t value =
+                evalExpr(stmt, stmt.operands[1].expr);
+            if (stmt.size == 4) {
+                out.push_back(Instruction::aluImm(
+                    Opcode::Add, rd, 0, checkImm13(stmt, value)));
+            } else {
+                const SplitImm split = splitImmediate(value);
+                out.push_back(Instruction::ldhi(rd, split.hi19));
+                out.push_back(Instruction::aluImm(Opcode::Add, rd, rd,
+                                                  split.lo13));
+            }
+            return out;
+        }
+        if (auto cond = branchPseudo(m)) {
+            countIs(1);
+            if (stmt.operands[0].kind != OperandKind::Expr)
+                err(stmt, "branch target must be an expression");
+            const std::int64_t target =
+                evalExpr(stmt, stmt.operands[0].expr);
+            out.push_back(Instruction::jmpr(
+                *cond, checkImm19(stmt, target - stmt.address)));
+            return out;
+        }
+
+        // ---- Real opcodes ----
+        if (m == "ldhis") {
+            countIs(2);
+            Instruction inst = Instruction::ldhi(
+                wantReg(stmt, 0),
+                checkImm19(stmt, evalExpr(stmt, stmt.operands[1].expr)));
+            inst.scc = true;
+            out.push_back(inst);
+            return out;
+        }
+        const auto opOpt = opcodeFromMnemonic(m);
+        if (!opOpt)
+            err(stmt, cat("unknown mnemonic '", m, "'"));
+        const Opcode op = *opOpt;
+        const OpcodeInfo *info = opcodeInfo(op);
+
+        Instruction inst;
+        inst.op = op;
+
+        switch (op) {
+          case Opcode::Ldhi:
+            countIs(2);
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            inst.imm19 = checkImm19(
+                stmt, evalExpr(stmt, stmt.operands[1].expr));
+            break;
+          case Opcode::Ldl:
+          case Opcode::Ldsu:
+          case Opcode::Ldss:
+          case Opcode::Ldbu:
+          case Opcode::Ldbs:
+          case Opcode::Stl:
+          case Opcode::Sts:
+          case Opcode::Stb:
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            applyAddress(stmt, inst, 1);
+            break;
+          case Opcode::Jmp:
+            inst.rd = static_cast<std::uint8_t>(wantCond(stmt, 0));
+            applyAddress(stmt, inst, 1);
+            break;
+          case Opcode::Jmpr: {
+            countIs(2);
+            inst.rd = static_cast<std::uint8_t>(wantCond(stmt, 0));
+            if (stmt.operands[1].kind != OperandKind::Expr)
+                err(stmt, "jmpr target must be an expression");
+            const std::int64_t target =
+                evalExpr(stmt, stmt.operands[1].expr);
+            inst.imm19 = checkImm19(stmt, target - stmt.address);
+            break;
+          }
+          case Opcode::Call:
+            if (stmt.operands.size() == 1 &&
+                stmt.operands[0].kind == OperandKind::Expr) {
+                // call <label>  ==>  callr r31, <label>
+                inst.op = Opcode::Callr;
+                inst.rd = 31;
+                const std::int64_t target =
+                    evalExpr(stmt, stmt.operands[0].expr);
+                inst.imm19 = checkImm19(stmt, target - stmt.address);
+                break;
+            }
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            applyAddress(stmt, inst, 1);
+            break;
+          case Opcode::Callr: {
+            countIs(2);
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            if (stmt.operands[1].kind != OperandKind::Expr)
+                err(stmt, "callr target must be an expression");
+            const std::int64_t target =
+                evalExpr(stmt, stmt.operands[1].expr);
+            inst.imm19 = checkImm19(stmt, target - stmt.address);
+            break;
+          }
+          case Opcode::Ret:
+          case Opcode::Reti:
+            if (stmt.operands.empty()) {
+                // Plain "ret": return to r31 + 8 (skip call + slot).
+                inst.rs1 = 31;
+                inst.imm = true;
+                inst.simm13 = 8;
+                break;
+            }
+            if (stmt.operands.size() != 2)
+                err(stmt, cat("'", m, "' takes 0 or 2 operands"));
+            inst.rs1 = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            applyS2(stmt, inst, stmt.operands[1]);
+            break;
+          case Opcode::Calli:
+          case Opcode::Gtlpc:
+          case Opcode::Getpsw:
+            countIs(1);
+            inst.rd = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            break;
+          case Opcode::Putpsw:
+            countIs(1);
+            inst.rs1 = static_cast<std::uint8_t>(wantReg(stmt, 0));
+            break;
+          default:
+            err(stmt, cat("mnemonic '", m, "' (", info->mnemonic,
+                          ") needs ALU operand form"));
+        }
+        out.push_back(inst);
+        return out;
+    }
+
+    // -- Directive sizing and emission -------------------------------------
+
+    /** Size in bytes of a directive (pass 1). */
+    unsigned
+    directiveSize(Stmt &stmt, std::uint32_t addr)
+    {
+        const std::string &m = stmt.mnemonic;
+        if (m == ".word")
+            return 4 * static_cast<unsigned>(stmt.operands.size());
+        if (m == ".half")
+            return 2 * static_cast<unsigned>(stmt.operands.size());
+        if (m == ".byte")
+            return static_cast<unsigned>(stmt.operands.size());
+        if (m == ".space") {
+            if (stmt.operands.size() != 1 ||
+                !stmt.operands[0].expr.resolvable(symbols_))
+                err(stmt, ".space needs one resolvable expression");
+            const std::int64_t n =
+                stmt.operands[0].expr.eval(symbols_, addr);
+            if (n < 0)
+                err(stmt, ".space with negative size");
+            return static_cast<unsigned>(n);
+        }
+        if (m == ".ascii" || m == ".asciz") {
+            unsigned total = 0;
+            for (const auto &op : stmt.operands) {
+                if (op.kind != OperandKind::Str)
+                    err(stmt, cat(m, " takes string operands"));
+                total += static_cast<unsigned>(op.str.size());
+                if (m == ".asciz")
+                    total += 1;
+            }
+            return total;
+        }
+        if (m == ".align") {
+            if (stmt.operands.size() != 1 ||
+                !stmt.operands[0].expr.resolvable(symbols_))
+                err(stmt, ".align needs one resolvable expression");
+            const std::int64_t a =
+                stmt.operands[0].expr.eval(symbols_, addr);
+            if (a <= 0 || (a & (a - 1)) != 0)
+                err(stmt, ".align needs a power of two");
+            const auto align = static_cast<std::uint32_t>(a);
+            return (align - (addr % align)) % align;
+        }
+        // .org/.equ/.entry/.end_marker occupy no space.
+        return 0;
+    }
+
+    // -- Passes -----------------------------------------------------------
+
+    void
+    passOne()
+    {
+        std::uint32_t addr = options_.defaultOrg;
+        for (auto &stmt : stmts_) {
+            // Handle location-changing directives before labels bind.
+            if (stmt.type == Stmt::Type::Directive &&
+                stmt.mnemonic == ".org") {
+                if (stmt.operands.size() != 1 ||
+                    !stmt.operands[0].expr.resolvable(symbols_))
+                    err(stmt, ".org needs one resolvable expression");
+                const std::int64_t a =
+                    stmt.operands[0].expr.eval(symbols_, addr);
+                if (a < 0 || a % 4 != 0)
+                    err(stmt, ".org address must be non-negative and "
+                              "word-aligned");
+                addr = static_cast<std::uint32_t>(a);
+            }
+
+            stmt.address = addr;
+            for (const auto &label : stmt.labels) {
+                if (symbols_.contains(label))
+                    err(stmt, cat("duplicate label '", label, "'"));
+                symbols_[label] = addr;
+            }
+
+            if (stmt.type == Stmt::Type::Directive) {
+                if (stmt.mnemonic == ".equ") {
+                    if (stmt.operands.size() != 2)
+                        err(stmt, ".equ takes: name, expression");
+                    const auto name =
+                        stmt.operands[0].expr.asBareSymbol();
+                    if (!name)
+                        err(stmt, ".equ first operand must be a name");
+                    if (!stmt.operands[1].expr.resolvable(symbols_))
+                        err(stmt, ".equ expression must be resolvable");
+                    if (symbols_.contains(*name))
+                        err(stmt, cat("duplicate symbol '", *name, "'"));
+                    symbols_[*name] = static_cast<std::uint32_t>(
+                        stmt.operands[1].expr.eval(symbols_, addr));
+                    stmt.size = 0;
+                } else if (stmt.mnemonic == ".org" ||
+                           stmt.mnemonic == ".entry" ||
+                           stmt.mnemonic == ".end_marker") {
+                    stmt.size = 0;
+                } else if (stmt.mnemonic == ".word" ||
+                           stmt.mnemonic == ".half" ||
+                           stmt.mnemonic == ".byte" ||
+                           stmt.mnemonic == ".space" ||
+                           stmt.mnemonic == ".ascii" ||
+                           stmt.mnemonic == ".asciz" ||
+                           stmt.mnemonic == ".align") {
+                    stmt.size = directiveSize(stmt, addr);
+                } else {
+                    err(stmt, cat("unknown directive '", stmt.mnemonic,
+                                  "'"));
+                }
+            } else {
+                if (addr % 4 != 0)
+                    err(stmt, "instruction at unaligned address");
+                stmt.size = 4 * instructionWords(stmt);
+            }
+            addr += stmt.size;
+        }
+    }
+
+    void
+    emit(std::uint32_t addr, SegmentKind kind,
+         const std::vector<std::uint8_t> &bytes)
+    {
+        if (bytes.empty())
+            return;
+        Segment *seg = program_.segments.empty()
+                           ? nullptr
+                           : &program_.segments.back();
+        if (!seg || seg->kind != kind ||
+            seg->base + seg->bytes.size() != addr) {
+            program_.segments.push_back(Segment{addr, kind, {}});
+            seg = &program_.segments.back();
+        }
+        seg->bytes.insert(seg->bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    static void
+    appendWord(std::vector<std::uint8_t> &bytes, std::uint32_t w)
+    {
+        bytes.push_back(static_cast<std::uint8_t>(w));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 16));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 24));
+    }
+
+    void
+    passTwo()
+    {
+        for (auto &stmt : stmts_) {
+            std::vector<std::uint8_t> bytes;
+            if (stmt.type == Stmt::Type::Instruction) {
+                const auto insts = expand(stmt);
+                if (insts.size() * 4 != stmt.size)
+                    panic(cat("line ", stmt.line,
+                              ": pass disagreement on statement size"));
+                // For multi-word pseudos the later words' '.' would
+                // shift; expansion already used stmt.address for all.
+                for (const auto &inst : insts)
+                    appendWord(bytes, inst.encode());
+                program_.staticInstructions += insts.size();
+                emit(stmt.address, SegmentKind::Code, bytes);
+                continue;
+            }
+
+            const std::string &m = stmt.mnemonic;
+            if (m == ".word") {
+                if (stmt.address % 4 != 0)
+                    err(stmt, ".word at unaligned address (use .align)");
+                for (const auto &op : stmt.operands)
+                    appendWord(bytes, static_cast<std::uint32_t>(
+                                           evalExpr(stmt, op.expr)));
+            } else if (m == ".half") {
+                if (stmt.address % 2 != 0)
+                    err(stmt, ".half at unaligned address (use .align)");
+                for (const auto &op : stmt.operands) {
+                    const auto v = static_cast<std::uint32_t>(
+                        evalExpr(stmt, op.expr));
+                    bytes.push_back(static_cast<std::uint8_t>(v));
+                    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+                }
+            } else if (m == ".byte") {
+                for (const auto &op : stmt.operands)
+                    bytes.push_back(static_cast<std::uint8_t>(
+                        evalExpr(stmt, op.expr)));
+            } else if (m == ".space" || m == ".align") {
+                bytes.assign(stmt.size, 0);
+            } else if (m == ".ascii" || m == ".asciz") {
+                for (const auto &op : stmt.operands) {
+                    bytes.insert(bytes.end(), op.str.begin(),
+                                 op.str.end());
+                    if (m == ".asciz")
+                        bytes.push_back(0);
+                }
+            } else if (m == ".entry") {
+                if (stmt.operands.size() != 1)
+                    err(stmt, ".entry takes one expression");
+                entry_ = static_cast<std::uint32_t>(
+                    evalExpr(stmt, stmt.operands[0].expr));
+            }
+            emit(stmt.address, SegmentKind::Data, bytes);
+        }
+        program_.symbols = symbols_;
+    }
+
+    void
+    resolveEntry()
+    {
+        if (entry_) {
+            program_.entry = *entry_;
+            return;
+        }
+        for (const char *name : {"start", "main", "_start"}) {
+            const auto it = symbols_.find(name);
+            if (it != symbols_.end()) {
+                program_.entry = it->second;
+                return;
+            }
+        }
+        for (const auto &seg : program_.segments) {
+            if (seg.kind == SegmentKind::Code) {
+                program_.entry = seg.base;
+                return;
+            }
+        }
+        fatal("program has no code and no entry point");
+    }
+
+    AsmOptions options_;
+    std::vector<Stmt> stmts_;
+    std::map<std::string, std::uint32_t> symbols_;
+    std::optional<std::uint32_t> entry_;
+    Program program_;
+};
+
+} // namespace
+
+Program
+assembleRisc(const std::string &source, const AsmOptions &options)
+{
+    RiscAssembler assembler(source, options);
+    return assembler.assemble();
+}
+
+} // namespace risc1

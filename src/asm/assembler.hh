@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Two-pass RISC I assembler.
+ *
+ * Syntax overview (see README for the full reference):
+ *
+ *     ; comment
+ *             .org  0x1000
+ *     start:  ldi   r1, 100000       ; pseudo: ldhi+add when needed
+ *             add   r2, r1, 5
+ *             subs  r0, r2, r1       ; trailing 's' sets cond codes
+ *             beq   done             ; pseudo for jmpr eq, label
+ *             nop                    ; delay slot
+ *             ldl   r3, table(r0)
+ *             stl   r3, 0(r2)
+ *             call  func             ; pseudo for callr r31, func
+ *             nop
+ *     done:   halt                   ; self-jump halt convention
+ *     table:  .word 1, 2, 3
+ *
+ * Pseudo-instructions: nop, mov, ldi, clr, inc, dec, cmp, not, neg,
+ * halt, call <label>, ret (no operands), and b<cond> <label> for every
+ * jump condition.
+ *
+ * Directives: .org .word .half .byte .space .ascii .asciz .align .equ
+ * .entry
+ */
+
+#ifndef RISC1_ASM_ASSEMBLER_HH
+#define RISC1_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "common/program.hh"
+
+namespace risc1 {
+
+/** Assembler options. */
+struct AsmOptions
+{
+    /** Load address used before the first .org. */
+    std::uint32_t defaultOrg = 0x1000;
+};
+
+/**
+ * Assemble RISC I source text into a program image.
+ * @throws FatalError with line information on any error.
+ */
+Program assembleRisc(const std::string &source,
+                     const AsmOptions &options = AsmOptions{});
+
+} // namespace risc1
+
+#endif // RISC1_ASM_ASSEMBLER_HH

@@ -1,0 +1,332 @@
+#include "codegen/expr.hh"
+
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace risc1 {
+
+std::unique_ptr<ExprNode>
+ExprNode::constant(std::uint32_t value)
+{
+    auto node = std::make_unique<ExprNode>();
+    node->kind = Kind::Const;
+    node->value = value;
+    return node;
+}
+
+std::unique_ptr<ExprNode>
+ExprNode::variable(unsigned index)
+{
+    auto node = std::make_unique<ExprNode>();
+    node->kind = Kind::Var;
+    node->var = index;
+    return node;
+}
+
+std::unique_ptr<ExprNode>
+ExprNode::binary(ExprOp op, std::unique_ptr<ExprNode> l,
+                 std::unique_ptr<ExprNode> r)
+{
+    auto node = std::make_unique<ExprNode>();
+    node->kind = Kind::Binary;
+    node->op = op;
+    node->lhs = std::move(l);
+    node->rhs = std::move(r);
+    return node;
+}
+
+std::uint32_t
+evalExprTree(const ExprNode &node, const std::vector<std::uint32_t> &vars)
+{
+    switch (node.kind) {
+      case ExprNode::Kind::Const:
+        return node.value;
+      case ExprNode::Kind::Var:
+        if (node.var >= vars.size())
+            fatal(cat("expression references variable ", node.var,
+                      " but only ", vars.size(), " provided"));
+        return vars[node.var];
+      case ExprNode::Kind::Binary: {
+        const std::uint32_t a = evalExprTree(*node.lhs, vars);
+        const std::uint32_t b = evalExprTree(*node.rhs, vars);
+        switch (node.op) {
+          case ExprOp::Add: return a + b;
+          case ExprOp::Sub: return a - b;
+          case ExprOp::And: return a & b;
+          case ExprOp::Or:  return a | b;
+          case ExprOp::Xor: return a ^ b;
+          case ExprOp::Shl: return a << (b & 31);
+          case ExprOp::Shr: return a >> (b & 31);
+        }
+        panic("bad expression operator");
+      }
+    }
+    panic("bad expression node kind");
+}
+
+std::size_t
+exprSize(const ExprNode &node)
+{
+    if (node.kind != ExprNode::Kind::Binary)
+        return 1;
+    return 1 + exprSize(*node.lhs) + exprSize(*node.rhs);
+}
+
+namespace {
+
+const char *
+opName(ExprOp op)
+{
+    switch (op) {
+      case ExprOp::Add: return "+";
+      case ExprOp::Sub: return "-";
+      case ExprOp::And: return "&";
+      case ExprOp::Or:  return "|";
+      case ExprOp::Xor: return "^";
+      case ExprOp::Shl: return "<<";
+      case ExprOp::Shr: return ">>";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+exprToString(const ExprNode &node)
+{
+    switch (node.kind) {
+      case ExprNode::Kind::Const:
+        return std::to_string(node.value);
+      case ExprNode::Kind::Var:
+        return "v" + std::to_string(node.var);
+      case ExprNode::Kind::Binary:
+        return "(" + exprToString(*node.lhs) + " " + opName(node.op) +
+               " " + exprToString(*node.rhs) + ")";
+    }
+    return "?";
+}
+
+std::unique_ptr<ExprNode>
+randomExpr(Rng &rng, unsigned numVars, unsigned maxDepth)
+{
+    if (maxDepth == 0 || rng.chance(1, 4)) {
+        // Leaf: variable or constant.
+        if (numVars > 0 && rng.chance(1, 2))
+            return ExprNode::variable(
+                static_cast<unsigned>(rng.below(numVars)));
+        return ExprNode::constant(
+            static_cast<std::uint32_t>(rng.next()));
+    }
+    const auto op = static_cast<ExprOp>(rng.below(7));
+    auto lhs = randomExpr(rng, numVars, maxDepth - 1);
+    std::unique_ptr<ExprNode> rhs;
+    if (op == ExprOp::Shl || op == ExprOp::Shr) {
+        // Shift amounts are small constants (see header).
+        rhs = ExprNode::constant(
+            static_cast<std::uint32_t>(rng.below(8)));
+    } else {
+        rhs = randomExpr(rng, numVars, maxDepth - 1);
+    }
+    return ExprNode::binary(op, std::move(lhs), std::move(rhs));
+}
+
+// --------------------------------------------------------------------
+// RISC I code generation
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Emits postorder code onto a register stack in r16..r25. */
+class RiscGen
+{
+  public:
+    void
+    gen(const ExprNode &node)
+    {
+        switch (node.kind) {
+          case ExprNode::Kind::Const: {
+            const unsigned reg = push(node);
+            os << "        ldi   r" << reg << ", "
+               << static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(node.value))
+               << "\n";
+            break;
+          }
+          case ExprNode::Kind::Var: {
+            const unsigned reg = push(node);
+            os << "        ldl   r" << reg << ", " << 4 * node.var
+               << "(r2)\n";
+            break;
+          }
+          case ExprNode::Kind::Binary: {
+            gen(*node.lhs);
+            gen(*node.rhs);
+            const unsigned rhs = pop();
+            const unsigned lhs = top();
+            const char *mnemonic = nullptr;
+            switch (node.op) {
+              case ExprOp::Add: mnemonic = "add"; break;
+              case ExprOp::Sub: mnemonic = "sub"; break;
+              case ExprOp::And: mnemonic = "and"; break;
+              case ExprOp::Or:  mnemonic = "or"; break;
+              case ExprOp::Xor: mnemonic = "xor"; break;
+              case ExprOp::Shl: mnemonic = "sll"; break;
+              case ExprOp::Shr: mnemonic = "srl"; break;
+            }
+            os << "        " << mnemonic << "   r" << lhs << ", r"
+               << lhs << ", r" << rhs << "\n";
+            break;
+          }
+        }
+    }
+
+    std::ostringstream os;
+
+  private:
+    unsigned
+    push(const ExprNode &)
+    {
+        if (depth >= 10)
+            fatal("expression too deep for the register stack "
+                  "(max depth 9)");
+        return 16 + depth++;
+    }
+
+    unsigned pop() { return 16 + --depth; }
+    unsigned top() const { return 16 + depth - 1; }
+
+    unsigned depth = 0;
+};
+
+std::string
+varsTable(const std::vector<std::uint32_t> &vars)
+{
+    std::ostringstream os;
+    os << "        .align 4\nvars:   .word ";
+    if (vars.empty()) {
+        os << "0";
+    } else {
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << vars[i];
+        }
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+compileExprRisc(const ExprNode &node,
+                const std::vector<std::uint32_t> &vars)
+{
+    RiscGen gen;
+    gen.gen(node);
+
+    std::ostringstream os;
+    os << "; generated by compileExprRisc: " << exprToString(node)
+       << "\n"
+       << "start:  ldi   r2, vars\n"
+       << gen.os.str()
+       << "        mov   r1, r16\n"
+       << "        halt\n"
+       << varsTable(vars);
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// CISC baseline code generation (memory evaluation stack)
+// --------------------------------------------------------------------
+
+namespace {
+
+class VaxGen
+{
+  public:
+    void
+    gen(const ExprNode &node)
+    {
+        switch (node.kind) {
+          case ExprNode::Kind::Const:
+            os << "        pushl #"
+               << static_cast<std::uint64_t>(node.value) << "\n";
+            break;
+          case ExprNode::Kind::Var:
+            os << "        pushl vars + " << 4 * node.var << "\n";
+            break;
+          case ExprNode::Kind::Binary:
+            gen(*node.lhs);
+            if (node.op == ExprOp::Shl || node.op == ExprOp::Shr) {
+                if (node.rhs->kind != ExprNode::Kind::Const)
+                    fatal("shift amount must be a constant");
+                const unsigned k = node.rhs->value & 31;
+                os << "        movl  (sp)+, r2\n";
+                if (node.op == ExprOp::Shl) {
+                    os << "        ashl  #" << k << ", r2, r2\n";
+                } else {
+                    os << "        ashl  #-" << k << ", r2, r2\n";
+                    if (k > 0) {
+                        // Force a logical shift: clear the top k bits.
+                        const std::uint32_t mask =
+                            ~((1u << (32 - k)) - 1u);
+                        os << "        bicl2 #"
+                           << static_cast<std::uint64_t>(mask)
+                           << ", r2\n";
+                    }
+                }
+                os << "        pushl r2\n";
+                return;
+            }
+            gen(*node.rhs);
+            os << "        movl  (sp)+, r2\n";
+            switch (node.op) {
+              case ExprOp::Add:
+                os << "        addl2 r2, (sp)\n";
+                break;
+              case ExprOp::Sub:
+                os << "        subl2 r2, (sp)\n";
+                break;
+              case ExprOp::And:
+                os << "        mcoml r2, r2\n"
+                   << "        bicl2 r2, (sp)\n";
+                break;
+              case ExprOp::Or:
+                os << "        bisl2 r2, (sp)\n";
+                break;
+              case ExprOp::Xor:
+                os << "        xorl2 r2, (sp)\n";
+                break;
+              default:
+                panic("unreachable");
+            }
+            break;
+        }
+    }
+
+    std::ostringstream os;
+};
+
+} // namespace
+
+std::string
+compileExprVax(const ExprNode &node,
+               const std::vector<std::uint32_t> &vars)
+{
+    VaxGen gen;
+    gen.gen(node);
+
+    std::ostringstream os;
+    os << "; generated by compileExprVax: " << exprToString(node) << "\n"
+       << "start:\n"
+       << gen.os.str()
+       << "        movl  (sp)+, r0\n"
+       << "        halt\n"
+       << varsTable(vars);
+    return os.str();
+}
+
+} // namespace risc1

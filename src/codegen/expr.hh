@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A miniature expression compiler targeting both simulated ISAs.
+ *
+ * The paper's benchmarks were compiled from C; this module provides
+ * the corresponding (tiny) compiler substrate: an expression tree
+ * with a native reference evaluator and code generators for RISC I
+ * and the CISC baseline.  Its main job in this repository is
+ * differential testing — random expression trees must produce the
+ * reference value through assembler + machine on BOTH architectures —
+ * plus code-size/speed data points for straight-line compute.
+ */
+
+#ifndef RISC1_CODEGEN_EXPR_HH
+#define RISC1_CODEGEN_EXPR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace risc1 {
+
+/** Binary operators available on both target ISAs. */
+enum class ExprOp : std::uint8_t
+{
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,  ///< logical left shift (rhs masked to 0..7 at build time)
+    Shr,  ///< logical right shift
+};
+
+/** An expression tree node. */
+struct ExprNode
+{
+    enum class Kind : std::uint8_t { Const, Var, Binary };
+
+    Kind kind = Kind::Const;
+    std::uint32_t value = 0;   ///< Const
+    unsigned var = 0;          ///< Var: index into the input vector
+    ExprOp op = ExprOp::Add;   ///< Binary
+    std::unique_ptr<ExprNode> lhs, rhs;
+
+    static std::unique_ptr<ExprNode> constant(std::uint32_t value);
+    static std::unique_ptr<ExprNode> variable(unsigned index);
+    static std::unique_ptr<ExprNode> binary(ExprOp op,
+                                            std::unique_ptr<ExprNode> l,
+                                            std::unique_ptr<ExprNode> r);
+};
+
+/** Evaluate @p node against @p vars (the native reference). */
+std::uint32_t evalExprTree(const ExprNode &node,
+                           const std::vector<std::uint32_t> &vars);
+
+/** Number of nodes in the tree. */
+std::size_t exprSize(const ExprNode &node);
+
+/** Render the tree as an infix string (debugging aid). */
+std::string exprToString(const ExprNode &node);
+
+/**
+ * Generate a random expression over @p numVars variables with at most
+ * @p maxDepth levels.  Shift amounts are always small constants so
+ * both targets agree; all other semantics are full 32-bit wrapping.
+ */
+std::unique_ptr<ExprNode> randomExpr(Rng &rng, unsigned numVars,
+                                     unsigned maxDepth);
+
+/**
+ * Compile to a complete RISC I program: loads the variables from a
+ * `.word` table and evaluates with a register evaluation stack in the
+ * LOCAL registers (r16..r25, i.e. trees up to depth 9 — ample for the
+ * generated corpus); the result lands in r1.
+ */
+std::string compileExprRisc(const ExprNode &node,
+                            const std::vector<std::uint32_t> &vars);
+
+/** Compile to a CISC baseline program; result in r0. */
+std::string compileExprVax(const ExprNode &node,
+                           const std::vector<std::uint32_t> &vars);
+
+} // namespace risc1
+
+#endif // RISC1_CODEGEN_EXPR_HH

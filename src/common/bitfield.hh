@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA encoders/decoders.
+ */
+
+#ifndef RISC1_COMMON_BITFIELD_HH
+#define RISC1_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace risc1 {
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p value. */
+constexpr std::uint32_t
+bits(std::uint32_t value, unsigned last, unsigned first)
+{
+    const unsigned width = last - first + 1;
+    const std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (value >> first) & mask;
+}
+
+/** Insert @p field into bits [first, last] of @p value. */
+constexpr std::uint32_t
+insertBits(std::uint32_t value, unsigned last, unsigned first,
+           std::uint32_t field)
+{
+    const unsigned width = last - first + 1;
+    const std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (value & ~(mask << first)) | ((field & mask) << first);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr std::int32_t
+sext(std::uint32_t value, unsigned width)
+{
+    const std::uint32_t m = 1u << (width - 1);
+    const std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    value &= mask;
+    return static_cast<std::int32_t>((value ^ m) - m);
+}
+
+/** True when @p value fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned width)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True when @p value fits in an unsigned field of @p width bits. */
+constexpr bool
+fitsUnsigned(std::int64_t value, unsigned width)
+{
+    return value >= 0 && value < (std::int64_t{1} << width);
+}
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_BITFIELD_HH

@@ -1,0 +1,43 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace risc1 {
+
+namespace {
+bool verboseOutput = true;
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (verboseOutput)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseOutput)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseOutput = verbose;
+}
+
+} // namespace risc1

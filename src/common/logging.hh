@@ -1,0 +1,63 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * fatal():   the run cannot continue because of a user-level error (bad
+ *            program, bad configuration).  Throws FatalError so library
+ *            users and tests can recover.
+ * panic():   an internal invariant was violated (a simulator bug).
+ *            Throws PanicError.
+ * warn()/inform(): non-fatal status messages on stderr.
+ */
+
+#ifndef RISC1_COMMON_LOGGING_HH
+#define RISC1_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace risc1 {
+
+/** Error raised for user-level problems (bad input, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error raised for internal invariant violations (simulator bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Abort the current operation due to a user-level error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Abort due to an internal simulator bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr (never stops the run). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable warn()/inform() output (tests silence it). */
+void setVerbose(bool verbose);
+
+/** printf-free formatting helper: csprintf("x=", x, " y=", y). */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_LOGGING_HH

@@ -1,0 +1,16 @@
+#include "common/program.hh"
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+std::uint32_t
+Program::symbol(const std::string &label) const
+{
+    const auto it = symbols.find(label);
+    if (it == symbols.end())
+        fatal(cat("unknown symbol '", label, "'"));
+    return it->second;
+}
+
+} // namespace risc1

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Loadable program image shared by both assemblers and both machines.
+ */
+
+#ifndef RISC1_COMMON_PROGRAM_HH
+#define RISC1_COMMON_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace risc1 {
+
+/** Whether a segment holds instructions or data. */
+enum class SegmentKind : std::uint8_t { Code, Data };
+
+/** A contiguous block of bytes at a fixed load address. */
+struct Segment
+{
+    std::uint32_t base = 0;
+    SegmentKind kind = SegmentKind::Code;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** An assembled program image. */
+struct Program
+{
+    std::uint32_t entry = 0;
+    std::vector<Segment> segments;
+    /** Symbol table: label -> address. */
+    std::map<std::string, std::uint32_t> symbols;
+    /** Static instruction count recorded by the assembler. */
+    std::uint64_t staticInstructions = 0;
+
+    /** Total instruction bytes (static code size). */
+    std::uint64_t
+    codeBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &seg : segments)
+            if (seg.kind == SegmentKind::Code)
+                n += seg.bytes.size();
+        return n;
+    }
+
+    /** Total data bytes. */
+    std::uint64_t
+    dataBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &seg : segments)
+            if (seg.kind == SegmentKind::Data)
+                n += seg.bytes.size();
+        return n;
+    }
+
+    /** Address of @p label; throws FatalError when missing. */
+    std::uint32_t symbol(const std::string &label) const;
+};
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_PROGRAM_HH

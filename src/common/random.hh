@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small deterministic PRNG (xorshift64*) used by property tests and
+ * synthetic workload generators.  Deterministic across platforms, unlike
+ * std::default_random_engine distributions.
+ */
+
+#ifndef RISC1_COMMON_RANDOM_HH
+#define RISC1_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace risc1 {
+
+/** Deterministic xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_RANDOM_HH

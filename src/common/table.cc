@@ -1,0 +1,119 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        fatal(cat("Table row arity ", row.size(), " != header arity ",
+                  headers_.size()));
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    bool digit = false;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit = true;
+        else if (c != '.' && c != '-' && c != '+' && c != ',' && c != '%' &&
+                 c != 'x' && c != 'e')
+            return false;
+    }
+    return digit;
+}
+
+} // namespace
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells, bool align) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const bool right = align && looksNumeric(cells[c]);
+            os << ' ' << (right ? std::setiosflags(std::ios::right)
+                                : std::setiosflags(std::ios::left))
+               << std::setw(static_cast<int>(widths[c])) << cells[c]
+               << std::resetiosflags(std::ios::adjustfield) << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    line(headers_, false);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            line(row, true);
+    }
+    rule();
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+Table::num(std::uint64_t value)
+{
+    std::string raw = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace risc1

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the
+ * paper-style tables/figures.
+ */
+
+#ifndef RISC1_COMMON_TABLE_HH
+#define RISC1_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace risc1 {
+
+/**
+ * A simple right-padded ASCII table.  Columns are sized to the widest
+ * cell; numeric-looking cells are right-aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p decimals fraction digits. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string num(std::uint64_t value);
+
+  private:
+    std::vector<std::string> headers_;
+    /** Rows; an empty row marks a separator. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_TABLE_HH

@@ -1,0 +1,574 @@
+#include "core/machine.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace risc1 {
+
+std::uint32_t
+Psw::pack() const
+{
+    std::uint32_t v = 0;
+    v |= cc.c ? 1u << 0 : 0;
+    v |= cc.v ? 1u << 1 : 0;
+    v |= cc.z ? 1u << 2 : 0;
+    v |= cc.n ? 1u << 3 : 0;
+    v |= intEnable ? 1u << 4 : 0;
+    v |= static_cast<std::uint32_t>(cwp) << 8;
+    v |= static_cast<std::uint32_t>(swp) << 16;
+    return v;
+}
+
+void
+Psw::unpackUserBits(std::uint32_t value)
+{
+    cc.c = (value & (1u << 0)) != 0;
+    cc.v = (value & (1u << 1)) != 0;
+    cc.z = (value & (1u << 2)) != 0;
+    cc.n = (value & (1u << 3)) != 0;
+    intEnable = (value & (1u << 4)) != 0;
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      mem_(config.memorySize),
+      regs_(config.windows),
+      spillSp_(config.saveAreaTop),
+      softSp_(config.softAreaTop)
+{
+    if (config_.saveAreaTop % 4 != 0 ||
+        config_.saveAreaTop > config_.memorySize ||
+        config_.softAreaTop % 4 != 0 ||
+        config_.softAreaTop > config_.memorySize)
+        fatal("save areas must be word-aligned and inside memory");
+    if (config_.icache)
+        icache_.emplace(*config_.icache);
+    if (config_.dcache)
+        dcache_.emplace(*config_.dcache);
+}
+
+void
+Machine::loadProgram(const Program &program)
+{
+    for (const auto &seg : program.segments)
+        mem_.load(seg.base, seg.bytes.data(), seg.bytes.size());
+    reset(program.entry);
+}
+
+void
+Machine::reset(std::uint32_t entry)
+{
+    regs_.reset();
+    psw_ = Psw{};
+    stats_.reset();
+    mem_.resetStats();
+    pc_ = entry;
+    npc_ = entry + 4;
+    lastPc_ = entry;
+    halted_ = false;
+    inDelaySlot_ = false;
+    resident_ = 1;
+    saved_ = 0;
+    spillSp_ = config_.saveAreaTop;
+    softSp_ = config_.softAreaTop;
+    callTrace_.clear();
+    interruptPending_ = false;
+    interruptsTaken_ = 0;
+    if (icache_)
+        icache_->reset();
+    if (dcache_)
+        dcache_->reset();
+    psw_.cwp = static_cast<std::uint8_t>(regs_.cwp());
+    psw_.swp = static_cast<std::uint8_t>(
+        (regs_.cwp() + resident_) % config_.windows.numWindows);
+}
+
+std::uint32_t
+Machine::readS2(const Instruction &inst)
+{
+    return inst.imm ? static_cast<std::uint32_t>(inst.simm13)
+                    : regs_.read(inst.rs2);
+}
+
+Machine::AluResult
+Machine::executeAlu(const Instruction &inst, std::uint32_t a,
+                    std::uint32_t b) const
+{
+    AluResult res{0, {}};
+    const std::uint64_t cin = psw_.cc.c ? 1 : 0;
+
+    auto addFlags = [&](std::uint64_t wide, std::uint32_t x,
+                        std::uint32_t y) {
+        res.value = static_cast<std::uint32_t>(wide);
+        res.cc.c = (wide >> 32) != 0;
+        res.cc.v = ((~(x ^ y) & (x ^ res.value)) >> 31) != 0;
+    };
+    auto subFlags = [&](std::uint32_t x, std::uint32_t y,
+                        std::uint64_t borrow) {
+        const std::uint64_t wide = static_cast<std::uint64_t>(x) -
+                                   static_cast<std::uint64_t>(y) - borrow;
+        res.value = static_cast<std::uint32_t>(wide);
+        res.cc.c = static_cast<std::uint64_t>(x) <
+                   static_cast<std::uint64_t>(y) + borrow;
+        res.cc.v = (((x ^ y) & (x ^ res.value)) >> 31) != 0;
+    };
+
+    switch (inst.op) {
+      case Opcode::Add:
+        addFlags(static_cast<std::uint64_t>(a) + b, a, b);
+        break;
+      case Opcode::Addc:
+        addFlags(static_cast<std::uint64_t>(a) + b + cin, a, b);
+        break;
+      case Opcode::Sub:
+        subFlags(a, b, 0);
+        break;
+      case Opcode::Subc:
+        subFlags(a, b, cin);
+        break;
+      case Opcode::Subr:
+        subFlags(b, a, 0);
+        break;
+      case Opcode::Subcr:
+        subFlags(b, a, cin);
+        break;
+      case Opcode::And:
+        res.value = a & b;
+        break;
+      case Opcode::Or:
+        res.value = a | b;
+        break;
+      case Opcode::Xor:
+        res.value = a ^ b;
+        break;
+      case Opcode::Sll:
+        res.value = a << (b & 31);
+        break;
+      case Opcode::Srl:
+        res.value = a >> (b & 31);
+        break;
+      case Opcode::Sra:
+        res.value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> (b & 31));
+        break;
+      case Opcode::Ldhi:
+        res.value = static_cast<std::uint32_t>(inst.imm19) << 13;
+        break;
+      default:
+        panic(cat("executeAlu called for non-ALU opcode ",
+                  static_cast<int>(inst.op)));
+    }
+    res.cc.z = res.value == 0;
+    res.cc.n = (res.value >> 31) != 0;
+    return res;
+}
+
+void
+Machine::transferTo(std::uint32_t target, bool haltOnSelf)
+{
+    if (haltOnSelf && target == pc_) {
+        // Self-jump: the simulator's halt convention.  Applies to
+        // jumps only — a RET whose caller issued the CALL as its last
+        // instruction before its own RET legitimately targets the
+        // returning instruction's address.
+        halted_ = true;
+        return;
+    }
+    ++stats_.takenTransfers;
+    npcOverride_ = target;
+    hasNpcOverride_ = true;
+}
+
+void
+Machine::spillOldestFrame()
+{
+    const unsigned nwin = config_.windows.numWindows;
+    const unsigned fsize = config_.windows.frameSize();
+    const unsigned oldest = (regs_.cwp() + resident_ - 1) % nwin;
+
+    for (unsigned i = 0; i < fsize; ++i) {
+        spillSp_ -= 4;
+        if (config_.windowedCalls)
+            mem_.writeWord(spillSp_, regs_.frameReg(oldest, i));
+        else
+            mem_.pokeWord(spillSp_, regs_.frameReg(oldest, i));
+    }
+    --resident_;
+    ++saved_;
+    if (config_.windowedCalls) {
+        ++stats_.windowOverflows;
+        stats_.spillWords += fsize;
+        stats_.cycles += config_.timing.trapOverheadCycles +
+                         fsize * config_.timing.trapPerWordCycles;
+    }
+}
+
+void
+Machine::fillCurrentFrame()
+{
+    if (saved_ == 0)
+        panic("window underfill with empty save stack");
+    const unsigned fsize = config_.windows.frameSize();
+    const unsigned w = regs_.cwp();
+
+    for (unsigned i = fsize; i-- > 0;) {
+        const std::uint32_t v = config_.windowedCalls
+                                    ? mem_.readWord(spillSp_)
+                                    : mem_.peekWord(spillSp_);
+        regs_.setFrameReg(w, i, v);
+        spillSp_ += 4;
+    }
+    --saved_;
+    resident_ = 1;
+    if (config_.windowedCalls) {
+        ++stats_.windowUnderflows;
+        stats_.fillWords += fsize;
+        stats_.cycles += config_.timing.trapOverheadCycles +
+                         fsize * config_.timing.trapPerWordCycles;
+    }
+}
+
+void
+Machine::doCall(std::uint32_t target, unsigned rd, bool isInterrupt)
+{
+    ++stats_.calls;
+    ++stats_.callDepth;
+    stats_.maxCallDepth = std::max(stats_.maxCallDepth, stats_.callDepth);
+    if (recordCalls_)
+        callTrace_.push_back(CallEvent::Call);
+
+    if (resident_ == config_.windows.capacity())
+        spillOldestFrame();
+    regs_.pushWindow();
+    ++resident_;
+
+    // The return address lands in the NEW window (the callee's HIGHs
+    // alias the caller's LOWs, so rd = r31 writes the caller's r15).
+    regs_.write(rd, isInterrupt ? lastPc_ : pc_);
+    ++stats_.regOperandWrites;
+
+    if (!config_.windowedCalls) {
+        // Conventional calling sequence: save registers to memory.
+        for (unsigned i = 0; i < config_.softFrameWords; ++i) {
+            softSp_ -= 4;
+            mem_.writeWord(softSp_, regs_.read(16 + (i % 10)));
+        }
+        stats_.softSaveWords += config_.softFrameWords;
+        stats_.cycles +=
+            config_.softFrameWords * config_.timing.softPerWordCycles;
+    }
+
+    if (isInterrupt)
+        psw_.intEnable = false;
+    else
+        transferTo(target);
+
+    psw_.cwp = static_cast<std::uint8_t>(regs_.cwp());
+    psw_.swp = static_cast<std::uint8_t>(
+        (regs_.cwp() + resident_) % config_.windows.numWindows);
+}
+
+void
+Machine::doReturn(std::uint32_t target, bool isInterrupt)
+{
+    if (stats_.callDepth == 0)
+        fatal(cat("RETURN executed at top level (pc=0x", std::hex, pc_,
+                  ")"));
+    ++stats_.returns;
+    --stats_.callDepth;
+    if (recordCalls_)
+        callTrace_.push_back(CallEvent::Return);
+
+    regs_.popWindow();
+    --resident_;
+    if (resident_ == 0)
+        fillCurrentFrame();
+
+    if (!config_.windowedCalls) {
+        for (unsigned i = config_.softFrameWords; i-- > 0;) {
+            (void)mem_.readWord(softSp_);
+            softSp_ += 4;
+        }
+        stats_.softRestoreWords += config_.softFrameWords;
+        stats_.cycles +=
+            config_.softFrameWords * config_.timing.softPerWordCycles;
+    }
+
+    if (isInterrupt)
+        psw_.intEnable = true;
+    transferTo(target);
+
+    psw_.cwp = static_cast<std::uint8_t>(regs_.cwp());
+    psw_.swp = static_cast<std::uint8_t>(
+        (regs_.cwp() + resident_) % config_.windows.numWindows);
+}
+
+void
+Machine::countOperandRegs(const Instruction &inst)
+{
+    const OpcodeInfo *info = opcodeInfo(inst.op);
+    unsigned reads = 0, writes = 0;
+    switch (info->cls) {
+      case InstClass::Alu:
+        if (inst.op == Opcode::Ldhi) {
+            writes = 1;
+        } else {
+            reads = 1 + (inst.imm ? 0 : 1);
+            writes = 1;
+        }
+        break;
+      case InstClass::Load:
+        reads = 1 + (inst.imm ? 0 : 1);
+        writes = 1;
+        break;
+      case InstClass::Store:
+        reads = 2 + (inst.imm ? 0 : 1);
+        break;
+      case InstClass::Jump:
+        if (inst.op == Opcode::Jmp)
+            reads = 1 + (inst.imm ? 0 : 1);
+        break;
+      case InstClass::CallRet:
+        if (inst.op == Opcode::Call || inst.op == Opcode::Ret ||
+            inst.op == Opcode::Reti)
+            reads = 1 + (inst.imm ? 0 : 1);
+        if (inst.op != Opcode::Ret && inst.op != Opcode::Reti)
+            writes = 1;
+        break;
+      case InstClass::Special:
+        if (inst.op == Opcode::Putpsw)
+            reads = 1;
+        else
+            writes = 1;
+        break;
+    }
+    stats_.regOperandReads += reads;
+    stats_.regOperandWrites += writes;
+}
+
+void
+Machine::execute(const Instruction &inst)
+{
+    const Timing &t = config_.timing;
+
+    switch (opcodeInfo(inst.op)->cls) {
+      case InstClass::Alu: {
+        const std::uint32_t a = regs_.read(inst.rs1);
+        const std::uint32_t b = readS2(inst);
+        const AluResult res = executeAlu(inst, a, b);
+        regs_.write(inst.rd, res.value);
+        if (inst.scc)
+            psw_.cc = res.cc;
+        stats_.cycles += t.aluCycles;
+        break;
+      }
+      case InstClass::Load: {
+        const std::uint32_t addr = regs_.read(inst.rs1) + readS2(inst);
+        if (dcache_ && !dcache_->access(addr))
+            stats_.cycles += config_.dcache->missPenaltyCycles;
+        std::uint32_t value = 0;
+        switch (inst.op) {
+          case Opcode::Ldl:
+            value = mem_.readWord(addr);
+            break;
+          case Opcode::Ldsu:
+            value = mem_.readHalf(addr);
+            break;
+          case Opcode::Ldss:
+            value = static_cast<std::uint32_t>(
+                sext(mem_.readHalf(addr), 16));
+            break;
+          case Opcode::Ldbu:
+            value = mem_.readByte(addr);
+            break;
+          case Opcode::Ldbs:
+            value = static_cast<std::uint32_t>(
+                sext(mem_.readByte(addr), 8));
+            break;
+          default:
+            panic("bad load opcode");
+        }
+        regs_.write(inst.rd, value);
+        ++stats_.loadCount;
+        stats_.cycles += t.loadCycles;
+        break;
+      }
+      case InstClass::Store: {
+        const std::uint32_t addr = regs_.read(inst.rs1) + readS2(inst);
+        if (dcache_ && !dcache_->access(addr))
+            stats_.cycles += config_.dcache->missPenaltyCycles;
+        const std::uint32_t data = regs_.read(inst.rd);
+        switch (inst.op) {
+          case Opcode::Stl:
+            mem_.writeWord(addr, data);
+            break;
+          case Opcode::Sts:
+            mem_.writeHalf(addr, static_cast<std::uint16_t>(data));
+            break;
+          case Opcode::Stb:
+            mem_.writeByte(addr, static_cast<std::uint8_t>(data));
+            break;
+          default:
+            panic("bad store opcode");
+        }
+        ++stats_.storeCount;
+        stats_.cycles += t.storeCycles;
+        break;
+      }
+      case InstClass::Jump: {
+        const std::uint32_t target =
+            inst.op == Opcode::Jmpr
+                ? pc_ + static_cast<std::uint32_t>(inst.imm19)
+                : regs_.read(inst.rs1) + readS2(inst);
+        if (condHolds(inst.cond(), psw_.cc))
+            transferTo(target, true);
+        else
+            ++stats_.untakenJumps;
+        stats_.cycles += t.jumpCycles;
+        break;
+      }
+      case InstClass::CallRet: {
+        switch (inst.op) {
+          case Opcode::Call:
+            doCall(regs_.read(inst.rs1) + readS2(inst), inst.rd, false);
+            stats_.cycles += t.callCycles;
+            break;
+          case Opcode::Callr:
+            doCall(pc_ + static_cast<std::uint32_t>(inst.imm19), inst.rd,
+                   false);
+            stats_.cycles += t.callCycles;
+            break;
+          case Opcode::Calli:
+            doCall(0, inst.rd, true);
+            stats_.cycles += t.callCycles;
+            break;
+          case Opcode::Ret:
+            doReturn(regs_.read(inst.rs1) + readS2(inst), false);
+            stats_.cycles += t.retCycles;
+            break;
+          case Opcode::Reti:
+            doReturn(regs_.read(inst.rs1) + readS2(inst), true);
+            stats_.cycles += t.retCycles;
+            break;
+          default:
+            panic("bad call/ret opcode");
+        }
+        break;
+      }
+      case InstClass::Special: {
+        switch (inst.op) {
+          case Opcode::Gtlpc:
+            regs_.write(inst.rd, lastPc_);
+            break;
+          case Opcode::Getpsw:
+            regs_.write(inst.rd, psw_.pack());
+            break;
+          case Opcode::Putpsw:
+            psw_.unpackUserBits(regs_.read(inst.rs1));
+            break;
+          default:
+            panic("bad special opcode");
+        }
+        stats_.cycles += t.specialCycles;
+        break;
+      }
+    }
+}
+
+void
+Machine::raiseInterrupt(std::uint32_t vector)
+{
+    interruptPending_ = true;
+    interruptVector_ = vector;
+}
+
+bool
+Machine::step()
+{
+    if (halted_)
+        return false;
+
+    // Accept a pending interrupt at a sequential boundary only (no
+    // taken transfer in flight), mirroring CALLINT entry.
+    if (interruptPending_ && psw_.intEnable && npc_ == pc_ + 4) {
+        interruptPending_ = false;
+        ++interruptsTaken_;
+        if (resident_ == config_.windows.capacity())
+            spillOldestFrame();
+        regs_.pushWindow();
+        ++resident_;
+        ++stats_.callDepth;
+        stats_.maxCallDepth =
+            std::max(stats_.maxCallDepth, stats_.callDepth);
+        ++stats_.calls;
+        if (recordCalls_)
+            callTrace_.push_back(CallEvent::Call);
+        regs_.write(31, pc_); // interrupted instruction's address
+        psw_.intEnable = false;
+        psw_.cwp = static_cast<std::uint8_t>(regs_.cwp());
+        psw_.swp = static_cast<std::uint8_t>(
+            (regs_.cwp() + resident_) % config_.windows.numWindows);
+        pc_ = interruptVector_;
+        npc_ = interruptVector_ + 4;
+        inDelaySlot_ = false; // the handler entry is not a slot
+        stats_.cycles += config_.timing.trapOverheadCycles;
+    }
+
+    if (icache_ && !icache_->access(pc_))
+        stats_.cycles += config_.icache->missPenaltyCycles;
+
+    const std::uint32_t word = mem_.fetchWord(pc_);
+    const Instruction inst = Instruction::decode(word);
+
+    if (traceHook_)
+        traceHook_(pc_, inst);
+
+    ++stats_.instructions;
+    ++stats_.perOpcode[static_cast<std::uint8_t>(inst.op)];
+    const OpcodeInfo *info = opcodeInfo(inst.op);
+    ++stats_.perClass[static_cast<std::size_t>(info->cls)];
+
+    if (inDelaySlot_) {
+        ++stats_.delaySlotsExecuted;
+        if (isNop(inst))
+            ++stats_.delaySlotNops;
+    }
+
+    countOperandRegs(inst);
+
+    hasNpcOverride_ = false;
+    execute(inst);
+
+    const std::uint32_t thisPc = pc_;
+    lastPc_ = thisPc;
+    if (halted_)
+        return false;
+
+    pc_ = npc_;
+    npc_ = hasNpcOverride_ ? npcOverride_ : npc_ + 4;
+
+    // Every transfer instruction is followed by one architectural
+    // delay slot (CALLI does not transfer and has none).
+    inDelaySlot_ = (info->cls == InstClass::Jump ||
+                    info->cls == InstClass::CallRet) &&
+                   inst.op != Opcode::Calli;
+    return true;
+}
+
+RunOutcome
+Machine::run(std::uint64_t maxSteps)
+{
+    RunOutcome outcome;
+    while (!halted_ && outcome.steps < maxSteps) {
+        step();
+        ++outcome.steps;
+    }
+    outcome.halted = halted_;
+    if (!halted_)
+        fatal(cat("program did not halt within ", maxSteps, " steps"));
+    return outcome;
+}
+
+} // namespace risc1

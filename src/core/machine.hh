@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The cycle-level RISC I machine: the paper's primary contribution.
+ *
+ * Execution model
+ *  - Register-to-register instructions take one cycle; loads and stores
+ *    take two (the extra memory cycle), matching the paper's timing.
+ *  - Every control transfer has one architectural delay slot: the
+ *    instruction after a jump/call/return always executes (RISC I has no
+ *    annul bit).
+ *  - CALL slides the register window down; when all windows are
+ *    occupied the machine takes a window-overflow trap, spilling the
+ *    oldest activation's 16 registers (HIGH + LOCAL) to the register
+ *    save stack.  RETURN symmetrically refills on underflow.  Trap cost
+ *    (handler overhead plus 16 memory accesses) is charged to the run.
+ *
+ * Program termination: a taken transfer whose target is the transfer's
+ * own address halts the machine (the classic bare-metal self-jump; the
+ * assembler's `halt` pseudo-instruction emits `jmpr alw, 0`).
+ *
+ * Ablation: with MachineConfig::windowedCalls = false the machine
+ * models a conventional single-window register file.  Window mechanics
+ * still run silently for correctness, but their traps are free and
+ * uncounted; instead each CALL/RETURN is charged the software
+ * save/restore convention (softFrameWords words each way, executed
+ * against the save area so the memory counters see the traffic).
+ */
+
+#ifndef RISC1_CORE_MACHINE_HH
+#define RISC1_CORE_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <optional>
+
+#include "common/program.hh"
+#include "core/regfile.hh"
+#include "core/stats.hh"
+#include "isa/instruction.hh"
+#include "memory/cache.hh"
+#include "memory/memory.hh"
+
+namespace risc1 {
+
+/** Per-event cycle costs (the paper's stated timing). */
+struct Timing
+{
+    unsigned aluCycles = 1;
+    unsigned loadCycles = 2;   ///< includes the extra memory cycle
+    unsigned storeCycles = 2;
+    unsigned jumpCycles = 1;
+    unsigned callCycles = 1;
+    unsigned retCycles = 1;
+    unsigned specialCycles = 1;
+    unsigned trapOverheadCycles = 6;   ///< per overflow/underflow trap
+    unsigned trapPerWordCycles = 2;    ///< per spilled/filled word
+    unsigned softPerWordCycles = 2;    ///< ablation save/restore word
+};
+
+/** Machine construction parameters. */
+struct MachineConfig
+{
+    WindowConfig windows = WindowConfig::full();
+    Timing timing;
+    std::size_t memorySize = 16u << 20;
+    /** Register-save stack top; spills grow downward from here. */
+    std::uint32_t saveAreaTop = 0x00f00000;
+    /** Ablation save-area top (distinct from the spill stack). */
+    std::uint32_t softAreaTop = 0x00e00000;
+    /** False = no-window ablation (see file comment). */
+    bool windowedCalls = true;
+    /** Words saved and restored per call in the ablation. */
+    unsigned softFrameWords = 8;
+    /**
+     * Optional instruction-cache model (the RISC II-era extension):
+     * when set, every fetch consults it and misses add the configured
+     * penalty cycles.  Disabled by default — RISC I had no cache.
+     */
+    std::optional<CacheConfig> icache;
+    /**
+     * Optional data-cache model, consulted on program loads/stores
+     * (window spill/fill traffic bypasses it, as trap microcode
+     * would).  Disabled by default.
+     */
+    std::optional<CacheConfig> dcache;
+};
+
+/** Packed PSW layout used by GETPSW/PUTPSW. */
+struct Psw
+{
+    CondCodes cc;
+    bool intEnable = true;
+    std::uint8_t cwp = 0;   ///< read-only via GETPSW
+    std::uint8_t swp = 0;   ///< read-only via GETPSW
+
+    std::uint32_t pack() const;
+    /** PUTPSW writes condition codes and interrupt enable only. */
+    void unpackUserBits(std::uint32_t value);
+};
+
+/** Call/return event recorded for the window analyzer. */
+enum class CallEvent : std::uint8_t { Call, Return };
+
+/** Result of Machine::run(). */
+struct RunOutcome
+{
+    bool halted = false;
+    std::uint64_t steps = 0;
+};
+
+/** The RISC I processor simulator. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    const MachineConfig &config() const { return config_; }
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    /** Load a program image and reset the processor to its entry. */
+    void loadProgram(const Program &program);
+
+    /** Reset processor state (registers, PSW, stats); memory is kept. */
+    void reset(std::uint32_t entry = 0);
+
+    /** Execute one instruction. @return false once halted. */
+    bool step();
+
+    /**
+     * Run until halt or @p maxSteps instructions.
+     * @throws FatalError when the step limit is hit (runaway program).
+     */
+    RunOutcome run(std::uint64_t maxSteps = 200'000'000);
+
+    bool halted() const { return halted_; }
+    std::uint32_t pc() const { return pc_; }
+
+    /** Visible register access (current window). */
+    std::uint32_t reg(unsigned r) const { return regs_.read(r); }
+    void setReg(unsigned r, std::uint32_t v) { regs_.write(r, v); }
+
+    const RegFile &regFile() const { return regs_; }
+    const Psw &psw() const { return psw_; }
+    const RunStats &stats() const { return stats_; }
+
+    /** Activation frames currently resident in the register file. */
+    unsigned residentFrames() const { return resident_; }
+    /** Frames spilled to the register-save stack. */
+    unsigned savedFrames() const { return saved_; }
+
+    /** Record call/return events for the window analyzer. */
+    void setRecordCallTrace(bool on) { recordCalls_ = on; }
+    const std::vector<CallEvent> &callTrace() const { return callTrace_; }
+
+    /** Optional per-instruction hook (pc, decoded instruction). */
+    using TraceHook =
+        std::function<void(std::uint32_t, const Instruction &)>;
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
+    /**
+     * Request an external interrupt to @p vector.  Taken at the next
+     * sequential instruction boundary while interrupts are enabled
+     * (RISC I defers acceptance in a taken transfer's shadow — the
+     * simulator's stand-in for the chip's LSTPC pipeline restart).
+     * Entry mirrors CALLINT: the window slides down, the interrupted
+     * instruction's address lands in the new window's r31, and
+     * interrupts are disabled; the handler resumes with
+     * `reti r31, 0`.
+     */
+    void raiseInterrupt(std::uint32_t vector);
+
+    /** Interrupts accepted so far. */
+    std::uint64_t interruptsTaken() const { return interruptsTaken_; }
+
+    /** Instruction-cache statistics (zeroes when no cache is fitted). */
+    CacheStats icacheStats() const
+    {
+        return icache_ ? icache_->stats() : CacheStats{};
+    }
+
+    /** Data-cache statistics (zeroes when no cache is fitted). */
+    CacheStats dcacheStats() const
+    {
+        return dcache_ ? dcache_->stats() : CacheStats{};
+    }
+
+  private:
+    struct AluResult
+    {
+        std::uint32_t value;
+        CondCodes cc;
+    };
+
+    AluResult executeAlu(const Instruction &inst, std::uint32_t a,
+                         std::uint32_t b) const;
+    std::uint32_t readS2(const Instruction &inst);
+    void execute(const Instruction &inst);
+    void doCall(std::uint32_t target, unsigned rd, bool isInterrupt);
+    void doReturn(std::uint32_t target, bool isInterrupt);
+    void spillOldestFrame();
+    void fillCurrentFrame();
+    void transferTo(std::uint32_t target, bool haltOnSelf = false);
+    void countOperandRegs(const Instruction &inst);
+
+    MachineConfig config_;
+    Memory mem_;
+    RegFile regs_;
+    Psw psw_;
+    RunStats stats_;
+
+    std::uint32_t pc_ = 0;
+    std::uint32_t npc_ = 4;
+    std::uint32_t lastPc_ = 0;
+    bool halted_ = false;
+    /** True when the next instruction sits in a delay slot. */
+    bool inDelaySlot_ = false;
+    /** Taken-transfer target for the instruction after the delay slot. */
+    std::uint32_t npcOverride_ = 0;
+    bool hasNpcOverride_ = false;
+
+    unsigned resident_ = 1;     ///< frames in the register file
+    unsigned saved_ = 0;        ///< frames on the save stack
+    std::uint32_t spillSp_;     ///< register-save stack pointer
+    std::uint32_t softSp_;      ///< ablation save-area pointer
+
+    bool recordCalls_ = false;
+    std::vector<CallEvent> callTrace_;
+    TraceHook traceHook_;
+
+    bool interruptPending_ = false;
+    std::uint32_t interruptVector_ = 0;
+    std::uint64_t interruptsTaken_ = 0;
+
+    std::optional<CacheModel> icache_;
+    std::optional<CacheModel> dcache_;
+};
+
+} // namespace risc1
+
+#endif // RISC1_CORE_MACHINE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The overlapping register-window file — the paper's central hardware
+ * idea.  Every procedure sees 32 registers:
+ *
+ *   r0..r9    GLOBAL  (r0 hardwired to zero)
+ *   r10..r15  LOW     (outgoing parameters)
+ *   r16..r25  LOCAL
+ *   r26..r31  HIGH    (incoming parameters)
+ *
+ * A CALL slides the window one frame down so the caller's LOW registers
+ * become the callee's HIGH registers (overlap = 6).  Physically the file
+ * holds `globals + windows * 16` registers arranged circularly; with the
+ * default 8 windows that is the 138-register file of the full design.
+ */
+
+#ifndef RISC1_CORE_REGFILE_HH
+#define RISC1_CORE_REGFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace risc1 {
+
+/** Geometry of the windowed register file. */
+struct WindowConfig
+{
+    unsigned numGlobals = 10;   ///< r0..r9
+    unsigned numLocals = 10;    ///< r16..r25
+    unsigned overlap = 6;       ///< LOW/HIGH size
+    unsigned numWindows = 8;    ///< physical window frames
+
+    /** Registers a window frame contributes (locals + one overlap). */
+    unsigned frameSize() const { return numLocals + overlap; }
+
+    /** Total physical registers. */
+    unsigned physRegs() const
+    {
+        return numGlobals + numWindows * frameSize();
+    }
+
+    /** Nested activations resident before a CALL must spill. */
+    unsigned capacity() const { return numWindows - 1; }
+
+    /** The full design the paper argues for: 8 windows, 138 registers. */
+    static WindowConfig full() { return WindowConfig{}; }
+
+    /** A resource-constrained 6-window file (106 registers). */
+    static WindowConfig gold()
+    {
+        WindowConfig cfg;
+        cfg.numWindows = 6;
+        return cfg;
+    }
+};
+
+/** Visible-register group classification. */
+enum class RegGroup : std::uint8_t { Global, Low, Local, High };
+
+/** Classify a visible register number (0..31). */
+RegGroup regGroup(unsigned reg);
+
+/**
+ * The physical register file with window mapping.
+ *
+ * The file knows nothing about traps; the Machine decides when a window
+ * push/pop requires a spill/fill and uses frame() to move the 16
+ * registers of a frame to/from memory.
+ */
+class RegFile
+{
+  public:
+    explicit RegFile(const WindowConfig &config = WindowConfig::full());
+
+    const WindowConfig &config() const { return config_; }
+
+    /** Current window pointer (frame index, 0-based, circular). */
+    unsigned cwp() const { return cwp_; }
+
+    /** Read visible register @p reg (0..31) in the current window. */
+    std::uint32_t read(unsigned reg) const;
+
+    /** Write visible register @p reg; writes to r0 are discarded. */
+    void write(unsigned reg, std::uint32_t value);
+
+    /** Slide the window down (CALL direction). */
+    void pushWindow();
+
+    /** Slide the window up (RETURN direction). */
+    void popWindow();
+
+    /**
+     * Access the 16 (frameSize) physical registers that make up the
+     * *activation state* of window frame @p window, for trap spill/fill.
+     * Index 0..overlap-1 covers the frame's HIGH (incoming-parameter)
+     * registers, index overlap..frameSize-1 its LOCAL registers.  The
+     * frame's LOW registers are excluded: they are the callee's HIGHs
+     * and belong to the callee's activation.
+     */
+    std::uint32_t frameReg(unsigned window, unsigned index) const;
+    void setFrameReg(unsigned window, unsigned index, std::uint32_t value);
+
+    /** Map a visible register to its physical index (r0 maps to 0). */
+    unsigned physIndex(unsigned reg) const;
+
+    /** Zero every physical register and reset CWP. */
+    void reset();
+
+  private:
+    unsigned windowBase(unsigned window) const;
+
+    WindowConfig config_;
+    std::vector<std::uint32_t> phys_;
+    unsigned cwp_ = 0;
+};
+
+} // namespace risc1
+
+#endif // RISC1_CORE_REGFILE_HH

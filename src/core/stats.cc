@@ -1,0 +1,36 @@
+#include "core/stats.hh"
+
+#include <sstream>
+
+namespace risc1 {
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << "cycles:             " << cycles << "\n"
+       << "instructions:       " << instructions << "\n"
+       << "CPI:                "
+       << (instructions ? static_cast<double>(cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0)
+       << "\n"
+       << "alu:                " << classCount(InstClass::Alu) << "\n"
+       << "load:               " << classCount(InstClass::Load) << "\n"
+       << "store:              " << classCount(InstClass::Store) << "\n"
+       << "jump:               " << classCount(InstClass::Jump) << "\n"
+       << "call/ret:           " << classCount(InstClass::CallRet) << "\n"
+       << "special:            " << classCount(InstClass::Special) << "\n"
+       << "taken transfers:    " << takenTransfers << "\n"
+       << "delay slots (nop):  " << delaySlotsExecuted << " ("
+       << delaySlotNops << ")\n"
+       << "calls/returns:      " << calls << "/" << returns << "\n"
+       << "max call depth:     " << maxCallDepth << "\n"
+       << "window ovf/unf:     " << windowOverflows << "/"
+       << windowUnderflows << "\n"
+       << "data loads/stores:  " << loadCount << "/" << storeCount << "\n"
+       << "spill/fill words:   " << spillWords << "/" << fillWords << "\n";
+    return os.str();
+}
+
+} // namespace risc1

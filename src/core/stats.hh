@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-run statistics collected by the RISC I machine.  Every number the
+ * paper's evaluation tables report is derived from these counters.
+ */
+
+#ifndef RISC1_CORE_STATS_HH
+#define RISC1_CORE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+
+namespace risc1 {
+
+/** Run statistics for one simulated RISC I execution. */
+struct RunStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Dynamic count per opcode (indexed by 7-bit opcode value). */
+    std::array<std::uint64_t, 128> perOpcode{};
+
+    /** Dynamic count per instruction class. */
+    std::array<std::uint64_t, 6> perClass{};
+
+    // -- Control transfers ---------------------------------------------
+    std::uint64_t takenTransfers = 0;
+    std::uint64_t untakenJumps = 0;
+    std::uint64_t delaySlotsExecuted = 0;  ///< instrs in a delay slot
+    std::uint64_t delaySlotNops = 0;       ///< ...that were NOPs
+
+    // -- Procedure calls and windows -------------------------------------
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t windowOverflows = 0;
+    std::uint64_t windowUnderflows = 0;
+    std::int64_t callDepth = 0;            ///< current nesting depth
+    std::int64_t maxCallDepth = 0;
+
+    // -- Data traffic (words; program vs trap handler) -------------------
+    std::uint64_t loadCount = 0;
+    std::uint64_t storeCount = 0;
+    std::uint64_t spillWords = 0;   ///< written by overflow traps
+    std::uint64_t fillWords = 0;    ///< read by underflow traps
+    /** Save/restore traffic charged by the no-window ablation. */
+    std::uint64_t softSaveWords = 0;
+    std::uint64_t softRestoreWords = 0;
+
+    // -- Operand locality (for the register-traffic experiment) ----------
+    std::uint64_t regOperandReads = 0;
+    std::uint64_t regOperandWrites = 0;
+
+    /** Dynamic count for one instruction class. */
+    std::uint64_t classCount(InstClass cls) const
+    {
+        return perClass[static_cast<std::size_t>(cls)];
+    }
+
+    /** Total data-memory accesses including trap traffic. */
+    std::uint64_t
+    dataAccesses() const
+    {
+        return loadCount + storeCount + spillWords + fillWords +
+               softSaveWords + softRestoreWords;
+    }
+
+    void reset() { *this = RunStats{}; }
+
+    /** Multi-line human-readable rendering. */
+    std::string summary() const;
+};
+
+} // namespace risc1
+
+#endif // RISC1_CORE_STATS_HH

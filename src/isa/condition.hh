@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RISC I condition codes and jump conditions.
+ *
+ * Conditional jumps name one of 16 conditions evaluated against the four
+ * PSW condition-code bits N/Z/V/C.  ALU instructions set the bits only
+ * when their scc bit is set; compare idioms therefore use
+ * `subs r0, ra, rb` (subtract, set codes, discard result).
+ */
+
+#ifndef RISC1_ISA_CONDITION_HH
+#define RISC1_ISA_CONDITION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace risc1 {
+
+/** Condition-code bits as produced by scc ALU operations. */
+struct CondCodes
+{
+    bool n = false;  ///< negative (sign bit of result)
+    bool z = false;  ///< zero
+    bool v = false;  ///< signed overflow
+    bool c = false;  ///< carry out (ADD) / borrow (SUB)
+
+    bool operator==(const CondCodes &) const = default;
+};
+
+/** The 16 jump conditions (value = encoding in the rd field). */
+enum class Cond : std::uint8_t
+{
+    Never = 0x0,  ///< never taken
+    Alw   = 0x1,  ///< always taken
+    Eq    = 0x2,  ///< Z
+    Ne    = 0x3,  ///< !Z
+    Lt    = 0x4,  ///< N != V        (signed <)
+    Ge    = 0x5,  ///< N == V        (signed >=)
+    Le    = 0x6,  ///< Z || N != V   (signed <=)
+    Gt    = 0x7,  ///< !Z && N == V  (signed >)
+    Ltu   = 0x8,  ///< C             (unsigned <, borrow set)
+    Geu   = 0x9,  ///< !C            (unsigned >=)
+    Leu   = 0xa,  ///< C || Z        (unsigned <=)
+    Gtu   = 0xb,  ///< !C && !Z      (unsigned >)
+    Mi    = 0xc,  ///< N
+    Pl    = 0xd,  ///< !N
+    Vs    = 0xe,  ///< V
+    Vc    = 0xf,  ///< !V
+};
+
+/** Evaluate @p cond against @p cc. */
+bool condHolds(Cond cond, const CondCodes &cc);
+
+/** Mnemonic for a condition ("alw", "eq", ...). */
+std::string_view condName(Cond cond);
+
+/** Parse a condition mnemonic. */
+std::optional<Cond> condFromName(std::string_view name);
+
+} // namespace risc1
+
+#endif // RISC1_ISA_CONDITION_HH

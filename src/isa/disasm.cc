@@ -1,0 +1,95 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+namespace {
+
+std::string
+reg(unsigned r)
+{
+    return "r" + std::to_string(r);
+}
+
+std::string
+s2Text(const Instruction &inst)
+{
+    if (inst.imm)
+        return std::to_string(inst.simm13);
+    return reg(inst.rs2);
+}
+
+/** Address operand: "off(rN)" for immediates, "rN, rM" for indexed. */
+std::string
+addrText(const Instruction &inst)
+{
+    if (inst.imm)
+        return std::to_string(inst.simm13) + '(' + reg(inst.rs1) + ')';
+    return reg(inst.rs1) + ", " + reg(inst.rs2);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpcodeInfo *info = opcodeInfo(inst.op);
+    if (!info)
+        return "<illegal>";
+
+    std::ostringstream os;
+    os << info->mnemonic;
+    if (inst.scc && info->maySetCc)
+        os << 's';
+
+    switch (info->cls) {
+      case InstClass::Alu:
+        if (inst.op == Opcode::Ldhi) {
+            os << ' ' << reg(inst.rd) << ", " << inst.imm19;
+        } else {
+            os << ' ' << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+               << s2Text(inst);
+        }
+        break;
+      case InstClass::Load:
+      case InstClass::Store:
+        os << ' ' << reg(inst.rd) << ", " << addrText(inst);
+        break;
+      case InstClass::Jump:
+        if (inst.op == Opcode::Jmpr)
+            os << ' ' << condName(inst.cond()) << ", " << inst.imm19;
+        else
+            os << ' ' << condName(inst.cond()) << ", " << addrText(inst);
+        break;
+      case InstClass::CallRet:
+        if (inst.op == Opcode::Callr)
+            os << ' ' << reg(inst.rd) << ", " << inst.imm19;
+        else if (inst.op == Opcode::Ret || inst.op == Opcode::Reti)
+            os << ' ' << reg(inst.rs1) << ", " << s2Text(inst);
+        else if (inst.op == Opcode::Calli)
+            os << ' ' << reg(inst.rd);
+        else
+            os << ' ' << reg(inst.rd) << ", " << addrText(inst);
+        break;
+      case InstClass::Special:
+        if (inst.op == Opcode::Putpsw)
+            os << ' ' << reg(inst.rs1);
+        else
+            os << ' ' << reg(inst.rd);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassembleWord(std::uint32_t word)
+{
+    if (!Instruction::isLegal(word))
+        return "<illegal>";
+    return disassemble(Instruction::decode(word));
+}
+
+} // namespace risc1

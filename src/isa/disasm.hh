@@ -1,0 +1,25 @@
+/**
+ * @file
+ * RISC I disassembler: renders decoded instructions in the same syntax
+ * the assembler accepts, so disassemble(assemble(text)) round-trips.
+ */
+
+#ifndef RISC1_ISA_DISASM_HH
+#define RISC1_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace risc1 {
+
+/** Render one instruction as assembly text. */
+std::string disassemble(const Instruction &inst);
+
+/** Decode and render a raw instruction word; "<illegal>" on failure. */
+std::string disassembleWord(std::uint32_t word);
+
+} // namespace risc1
+
+#endif // RISC1_ISA_DISASM_HH

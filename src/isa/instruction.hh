@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Decoded-instruction representation and the two 32-bit RISC I formats.
+ *
+ * Short-immediate format:
+ *   [31:25] opcode  [24] scc  [23:19] rd  [18:14] rs1
+ *   [13] imm  [12:0] s2 (signed 13-bit immediate, or rs2 in [4:0])
+ *
+ * Long-immediate format (LDHI, JMPR, CALLR):
+ *   [31:25] opcode  [24] scc  [23:19] rd  [18:0] Y (signed 19-bit)
+ *
+ * For JMP and JMPR the rd field carries the jump condition.
+ * For stores the rd field names the register supplying the data.
+ */
+
+#ifndef RISC1_ISA_INSTRUCTION_HH
+#define RISC1_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/condition.hh"
+#include "isa/opcodes.hh"
+
+namespace risc1 {
+
+/** One decoded RISC I instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Add;
+    bool scc = false;       ///< set condition codes after execution
+    std::uint8_t rd = 0;    ///< destination (or condition / store data)
+    std::uint8_t rs1 = 0;   ///< first source register
+    bool imm = false;       ///< short format: s2 is an immediate
+    std::int32_t simm13 = 0; ///< short format immediate (sign-extended)
+    std::uint8_t rs2 = 0;   ///< short format: second source register
+    std::int32_t imm19 = 0;  ///< long format immediate (sign-extended)
+
+    /** Condition view of the rd field (jumps). */
+    Cond cond() const { return static_cast<Cond>(rd & 0xf); }
+
+    /** Encode to a 32-bit instruction word. */
+    std::uint32_t encode() const;
+
+    /**
+     * Decode a 32-bit word.
+     * @throws FatalError for an illegal opcode field.
+     */
+    static Instruction decode(std::uint32_t word);
+
+    /** True if @p word decodes to a legal instruction. */
+    static bool isLegal(std::uint32_t word);
+
+    bool operator==(const Instruction &) const = default;
+
+    // -- Builders used by the assembler, tests, and workloads ----------
+
+    /** Three-operand register/immediate ALU op. */
+    static Instruction alu(Opcode op, unsigned rd, unsigned rs1,
+                           unsigned rs2, bool scc = false);
+    static Instruction aluImm(Opcode op, unsigned rd, unsigned rs1,
+                              std::int32_t imm, bool scc = false);
+    /** ldhi rd, imm19. */
+    static Instruction ldhi(unsigned rd, std::int32_t imm19);
+    /** Load: rd <- M[rs1 + s2]. */
+    static Instruction load(Opcode op, unsigned rd, unsigned rs1,
+                            std::int32_t offset);
+    /** Store: M[rs1 + s2] <- rm. */
+    static Instruction store(Opcode op, unsigned rm, unsigned rs1,
+                             std::int32_t offset);
+    /** jmp cond, rs1 + offset. */
+    static Instruction jmp(Cond cond, unsigned rs1, std::int32_t offset);
+    /** jmpr cond, pc-relative byte offset. */
+    static Instruction jmpr(Cond cond, std::int32_t offset);
+    /** call rd, rs1 + offset. */
+    static Instruction call(unsigned rd, unsigned rs1, std::int32_t offset);
+    /** callr rd, pc-relative byte offset. */
+    static Instruction callr(unsigned rd, std::int32_t offset);
+    /** ret rs1 + offset. */
+    static Instruction ret(unsigned rs1, std::int32_t offset);
+    /** Canonical NOP (add r0, r0, #0). */
+    static Instruction nop();
+};
+
+/** True when @p inst is the canonical NOP. */
+bool isNop(const Instruction &inst);
+
+} // namespace risc1
+
+#endif // RISC1_ISA_INSTRUCTION_HH

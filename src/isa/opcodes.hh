@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The RISC I instruction set: the 31 opcodes of Patterson & Séquin's
+ * ISCA'81 design, plus static per-opcode metadata used by the decoder,
+ * the assembler, and the timing model.
+ *
+ * Encodings are our own (the paper does not publish bit-level opcodes);
+ * the *architecture* — 7-bit opcode, scc bit, two 32-bit formats — follows
+ * the paper.
+ */
+
+#ifndef RISC1_ISA_OPCODES_HH
+#define RISC1_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace risc1 {
+
+/** The 31 RISC I instructions. Values are the 7-bit opcode field. */
+enum class Opcode : std::uint8_t
+{
+    // Arithmetic / logic (short-immediate format).
+    Add    = 0x01,
+    Addc   = 0x02,
+    Sub    = 0x03,
+    Subc   = 0x04,
+    Subr   = 0x05,
+    Subcr  = 0x06,
+    And    = 0x07,
+    Or     = 0x08,
+    Xor    = 0x09,
+    Sll    = 0x0a,
+    Srl    = 0x0b,
+    Sra    = 0x0c,
+
+    // Load immediate high (long-immediate format).
+    Ldhi   = 0x10,
+
+    // Loads (short-immediate format: address = rs1 + s2).
+    Ldl    = 0x11,
+    Ldsu   = 0x12,
+    Ldss   = 0x13,
+    Ldbu   = 0x14,
+    Ldbs   = 0x15,
+
+    // Stores (rd field holds the data register).
+    Stl    = 0x19,
+    Sts    = 0x1a,
+    Stb    = 0x1b,
+
+    // Control transfer.  For Jmp/Jmpr the rd field holds the condition.
+    Jmp    = 0x20,
+    Jmpr   = 0x21,
+    Call   = 0x22,
+    Callr  = 0x23,
+    Ret    = 0x24,
+    Calli  = 0x25,
+    Reti   = 0x26,
+
+    // Special.
+    Gtlpc  = 0x28,
+    Getpsw = 0x29,
+    Putpsw = 0x2a,
+};
+
+/** Number of distinct RISC I instructions (the paper's headline count). */
+inline constexpr int numOpcodes = 31;
+
+/** Broad instruction classes used by statistics and the timing model. */
+enum class InstClass : std::uint8_t
+{
+    Alu,        ///< register-to-register compute (incl. LDHI)
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Jump,       ///< conditional/unconditional jumps
+    CallRet,    ///< procedure call/return (incl. interrupt variants)
+    Special,    ///< PSW/PC access
+};
+
+/** Which of the two 32-bit formats an opcode uses. */
+enum class Format : std::uint8_t
+{
+    Short,  ///< opcode|scc|rd|rs1|imm|s2(13)
+    Long,   ///< opcode|scc|rd|Y(19)
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    Opcode op;
+    std::string_view mnemonic;
+    Format format;
+    InstClass cls;
+    /** True when the rd field names a condition, not a register. */
+    bool rdIsCond;
+    /** True when the instruction may set condition codes via scc. */
+    bool maySetCc;
+};
+
+/** Look up metadata; returns nullptr for illegal opcode values. */
+const OpcodeInfo *opcodeInfo(Opcode op);
+
+/** Look up an opcode by mnemonic (without any scc suffix). */
+std::optional<Opcode> opcodeFromMnemonic(std::string_view mnemonic);
+
+/** All valid opcodes in mnemonic-table order (31 entries). */
+const OpcodeInfo *allOpcodes();
+
+} // namespace risc1
+
+#endif // RISC1_ISA_OPCODES_HH

@@ -1,0 +1,65 @@
+#include "memory/cache.hh"
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2u(std::uint32_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config_.sizeBytes) ||
+        !isPowerOfTwo(config_.lineBytes) ||
+        config_.lineBytes < 4 || config_.sizeBytes < config_.lineBytes)
+        fatal("cache size and line size must be powers of two with "
+              "size >= line >= 4");
+    numLines_ = config_.sizeBytes / config_.lineBytes;
+    lineShift_ = log2u(config_.lineBytes);
+    tags_.assign(numLines_, 0);
+    valid_.assign(numLines_, false);
+}
+
+bool
+CacheModel::access(std::uint32_t addr)
+{
+    const std::uint32_t lineAddr = addr >> lineShift_;
+    const unsigned index = lineAddr % numLines_;
+    const std::uint32_t tag = lineAddr / numLines_;
+    if (valid_[index] && tags_[index] == tag) {
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    valid_[index] = true;
+    tags_[index] = tag;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    valid_.assign(numLines_, false);
+    stats_.reset();
+}
+
+} // namespace risc1

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A direct-mapped cache model — the extension study the Berkeley RISC
+ * project pursued after RISC I (the paper's fetch-bandwidth discussion
+ * points straight at on-chip instruction caching; RISC II-era work
+ * added exactly this).  The model is consulted on every instruction
+ * fetch when enabled; misses charge a configurable penalty.
+ */
+
+#ifndef RISC1_MEMORY_CACHE_HH
+#define RISC1_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace risc1 {
+
+/** Cache geometry and timing. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 1024;
+    std::uint32_t lineBytes = 16;
+    unsigned missPenaltyCycles = 4;
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return accesses() ? static_cast<double>(hits) /
+                                static_cast<double>(accesses())
+                          : 0.0;
+    }
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/** Direct-mapped cache with tag-only state (a timing model). */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config = CacheConfig{});
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Access @p addr; @return true on hit (misses allocate). */
+    bool access(std::uint32_t addr);
+
+    /** Invalidate all lines and reset statistics. */
+    void reset();
+
+  private:
+    CacheConfig config_;
+    unsigned numLines_;
+    unsigned lineShift_;
+    std::vector<std::uint32_t> tags_;
+    std::vector<bool> valid_;
+    CacheStats stats_;
+};
+
+} // namespace risc1
+
+#endif // RISC1_MEMORY_CACHE_HH

@@ -1,0 +1,153 @@
+#include "memory/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+Memory::Memory(std::size_t size)
+    : data_(size, 0)
+{
+    if (size == 0 || size % 4 != 0)
+        fatal(cat("memory size must be a positive multiple of 4, got ",
+                  size));
+}
+
+void
+Memory::check(std::uint32_t addr, unsigned bytes) const
+{
+    if (addr % bytes != 0)
+        fatal(cat("misaligned ", bytes, "-byte access at address 0x",
+                  std::hex, addr));
+    if (static_cast<std::size_t>(addr) + bytes > data_.size())
+        fatal(cat("out-of-range ", std::dec, bytes,
+                  "-byte access at address 0x", std::hex, addr,
+                  " (memory size 0x", data_.size(), ")"));
+}
+
+std::uint32_t
+Memory::readWord(std::uint32_t addr)
+{
+    check(addr, 4);
+    ++stats_.reads;
+    stats_.bytesRead += 4;
+    return peekWord(addr);
+}
+
+std::uint16_t
+Memory::readHalf(std::uint32_t addr)
+{
+    check(addr, 2);
+    ++stats_.reads;
+    stats_.bytesRead += 2;
+    return static_cast<std::uint16_t>(data_[addr] |
+                                      (data_[addr + 1] << 8));
+}
+
+std::uint8_t
+Memory::readByte(std::uint32_t addr)
+{
+    check(addr, 1);
+    ++stats_.reads;
+    stats_.bytesRead += 1;
+    return data_[addr];
+}
+
+void
+Memory::writeWord(std::uint32_t addr, std::uint32_t value)
+{
+    check(addr, 4);
+    ++stats_.writes;
+    stats_.bytesWritten += 4;
+    pokeWord(addr, value);
+}
+
+void
+Memory::writeHalf(std::uint32_t addr, std::uint16_t value)
+{
+    check(addr, 2);
+    ++stats_.writes;
+    stats_.bytesWritten += 2;
+    data_[addr] = static_cast<std::uint8_t>(value);
+    data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void
+Memory::writeByte(std::uint32_t addr, std::uint8_t value)
+{
+    check(addr, 1);
+    ++stats_.writes;
+    stats_.bytesWritten += 1;
+    data_[addr] = value;
+}
+
+std::uint32_t
+Memory::fetchWord(std::uint32_t addr)
+{
+    check(addr, 4);
+    ++stats_.fetches;
+    return peekWord(addr);
+}
+
+std::uint8_t
+Memory::fetchByte(std::uint32_t addr)
+{
+    check(addr, 1);
+    ++stats_.fetches;
+    return data_[addr];
+}
+
+std::uint32_t
+Memory::peekWord(std::uint32_t addr) const
+{
+    check(addr, 4);
+    return static_cast<std::uint32_t>(data_[addr]) |
+           (static_cast<std::uint32_t>(data_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(data_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(data_[addr + 3]) << 24);
+}
+
+std::uint8_t
+Memory::peekByte(std::uint32_t addr) const
+{
+    check(addr, 1);
+    return data_[addr];
+}
+
+void
+Memory::pokeWord(std::uint32_t addr, std::uint32_t value)
+{
+    check(addr, 4);
+    data_[addr] = static_cast<std::uint8_t>(value);
+    data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    data_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void
+Memory::pokeByte(std::uint32_t addr, std::uint8_t value)
+{
+    check(addr, 1);
+    data_[addr] = value;
+}
+
+void
+Memory::load(std::uint32_t addr, const std::uint8_t *bytes,
+             std::size_t count)
+{
+    if (static_cast<std::size_t>(addr) + count > data_.size())
+        fatal(cat("loader: block of ", count, " bytes at 0x", std::hex,
+                  addr, " exceeds memory"));
+    std::memcpy(data_.data() + addr, bytes, count);
+}
+
+void
+Memory::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+    stats_.reset();
+}
+
+} // namespace risc1

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Byte-addressable little-endian main memory shared by both simulated
+ * machines.  Counts every access by kind so the benches can report the
+ * data-traffic numbers the paper's evaluation rests on.
+ */
+
+#ifndef RISC1_MEMORY_MEMORY_HH
+#define RISC1_MEMORY_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace risc1 {
+
+/** Access statistics kept by Memory. */
+struct MemoryStats
+{
+    std::uint64_t reads = 0;        ///< data reads (any width)
+    std::uint64_t writes = 0;       ///< data writes (any width)
+    std::uint64_t fetches = 0;      ///< instruction fetches
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+
+    void
+    reset()
+    {
+        *this = MemoryStats{};
+    }
+};
+
+/**
+ * Flat little-endian memory.
+ *
+ * Word (32-bit) accesses must be 4-aligned and halfword accesses
+ * 2-aligned; misalignment raises FatalError (the simulated machines
+ * surface this as an alignment trap).
+ */
+class Memory
+{
+  public:
+    /** Create a memory of @p size bytes (default 16 MiB). */
+    explicit Memory(std::size_t size = 16u << 20);
+
+    std::size_t size() const { return data_.size(); }
+
+    // -- Data accesses (counted in reads/writes) -----------------------
+    std::uint32_t readWord(std::uint32_t addr);
+    std::uint16_t readHalf(std::uint32_t addr);
+    std::uint8_t readByte(std::uint32_t addr);
+    void writeWord(std::uint32_t addr, std::uint32_t value);
+    void writeHalf(std::uint32_t addr, std::uint16_t value);
+    void writeByte(std::uint32_t addr, std::uint8_t value);
+
+    // -- Instruction fetch (counted separately) ------------------------
+    std::uint32_t fetchWord(std::uint32_t addr);
+    /** Variable-length fetch for the CISC machine (1 byte). */
+    std::uint8_t fetchByte(std::uint32_t addr);
+
+    // -- Uncounted debug/loader access ---------------------------------
+    std::uint32_t peekWord(std::uint32_t addr) const;
+    std::uint8_t peekByte(std::uint32_t addr) const;
+    void pokeWord(std::uint32_t addr, std::uint32_t value);
+    void pokeByte(std::uint32_t addr, std::uint8_t value);
+    /** Copy a block of bytes into memory (loader). */
+    void load(std::uint32_t addr, const std::uint8_t *bytes,
+              std::size_t count);
+
+    const MemoryStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** Zero all contents and statistics. */
+    void clear();
+
+  private:
+    void check(std::uint32_t addr, unsigned bytes) const;
+
+    std::vector<std::uint8_t> data_;
+    MemoryStats stats_;
+};
+
+} // namespace risc1
+
+#endif // RISC1_MEMORY_MEMORY_HH

@@ -1,0 +1,162 @@
+#include "vax/vdisasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "vax/visa.hh"
+
+namespace risc1 {
+
+namespace {
+
+std::string
+regName(unsigned r)
+{
+    switch (r) {
+      case vaxAp: return "ap";
+      case vaxFp: return "fp";
+      case vaxSp: return "sp";
+      case vaxPc: return "pc";
+      default: return "r" + std::to_string(r);
+    }
+}
+
+std::string
+hex(std::uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", value);
+    return buf;
+}
+
+struct Cursor
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos;
+
+    std::uint8_t
+    byte()
+    {
+        if (pos >= bytes.size())
+            fatal("truncated instruction while disassembling");
+        return bytes[pos++];
+    }
+
+    std::uint16_t
+    half()
+    {
+        const std::uint16_t lo = byte();
+        return static_cast<std::uint16_t>(lo | (byte() << 8));
+    }
+
+    std::uint32_t
+    quad()
+    {
+        const std::uint32_t lo = half();
+        return lo | (static_cast<std::uint32_t>(half()) << 16);
+    }
+};
+
+std::string
+specifier(Cursor &cur)
+{
+    const std::uint8_t spec = cur.byte();
+    const unsigned mode = spec >> 4;
+    const unsigned rn = spec & 0xf;
+
+    if (mode <= 3)
+        return "#" + std::to_string(spec & 0x3f);
+
+    switch (static_cast<VaxMode>(mode)) {
+      case VaxMode::Register:
+        return regName(rn);
+      case VaxMode::Deferred:
+        return "(" + regName(rn) + ")";
+      case VaxMode::AutoDec:
+        return "-(" + regName(rn) + ")";
+      case VaxMode::AutoInc:
+        if (rn == vaxPc)
+            return "#" + hex(cur.quad());
+        return "(" + regName(rn) + ")+";
+      case VaxMode::AutoIncDef:
+        if (rn == vaxPc)
+            return "@" + hex(cur.quad());
+        fatal("autoincrement-deferred only supported as absolute");
+      case VaxMode::DispByte:
+        return std::to_string(sext(cur.byte(), 8)) + "(" + regName(rn) +
+               ")";
+      case VaxMode::DispWord:
+        return std::to_string(sext(cur.half(), 16)) + "(" +
+               regName(rn) + ")";
+      case VaxMode::DispLong:
+        return std::to_string(
+                   static_cast<std::int32_t>(cur.quad())) +
+               "(" + regName(rn) + ")";
+      default:
+        fatal(cat("bad specifier mode nibble 0x", std::hex, mode));
+    }
+}
+
+} // namespace
+
+VaxDisasmLine
+vaxDisassembleAt(const std::vector<std::uint8_t> &bytes,
+                 std::size_t offset, std::uint32_t base)
+{
+    Cursor cur{bytes, offset};
+    const auto op = static_cast<VaxOpcode>(cur.byte());
+    const VaxOpInfo *info = vaxOpcodeInfo(op);
+    if (!info)
+        fatal(cat("illegal opcode byte 0x", std::hex,
+                  static_cast<int>(op), " at offset ", std::dec,
+                  offset));
+
+    std::ostringstream os;
+    os << info->mnemonic;
+    for (unsigned i = 0; i < info->numOperands; ++i) {
+        os << (i == 0 ? " " : ", ");
+        switch (info->operands[i]) {
+          case VaxOpndUse::Branch8: {
+            const auto disp = sext(cur.byte(), 8);
+            os << hex(base + static_cast<std::uint32_t>(cur.pos) +
+                      static_cast<std::uint32_t>(disp));
+            break;
+          }
+          case VaxOpndUse::Branch16: {
+            const auto disp = sext(cur.half(), 16);
+            os << hex(base + static_cast<std::uint32_t>(cur.pos) +
+                      static_cast<std::uint32_t>(disp));
+            break;
+          }
+          default:
+            os << specifier(cur);
+            break;
+        }
+    }
+
+    VaxDisasmLine line;
+    line.address = base + static_cast<std::uint32_t>(offset);
+    line.length = static_cast<unsigned>(cur.pos - offset);
+    line.text = os.str();
+    return line;
+}
+
+std::vector<VaxDisasmLine>
+vaxDisassembleBlock(const std::vector<std::uint8_t> &bytes,
+                    std::uint32_t base)
+{
+    std::vector<VaxDisasmLine> lines;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        if (!vaxOpcodeInfo(static_cast<VaxOpcode>(bytes[pos])))
+            break;
+        const VaxDisasmLine line = vaxDisassembleAt(bytes, pos, base);
+        pos += line.length;
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+} // namespace risc1

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Disassembler for the CISC baseline's variable-length encoding.
+ * Renders instructions in the syntax its assembler accepts.
+ */
+
+#ifndef RISC1_VAX_VDISASM_HH
+#define RISC1_VAX_VDISASM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risc1 {
+
+/** One disassembled instruction. */
+struct VaxDisasmLine
+{
+    std::uint32_t address = 0;
+    unsigned length = 0;      ///< bytes consumed
+    std::string text;         ///< rendered assembly
+};
+
+/**
+ * Disassemble one instruction at @p offset within @p bytes, where the
+ * block loads at @p base.  Branch targets render as absolute hex.
+ * @throws FatalError on an illegal opcode or truncated instruction.
+ */
+VaxDisasmLine vaxDisassembleAt(const std::vector<std::uint8_t> &bytes,
+                               std::size_t offset, std::uint32_t base);
+
+/** Disassemble a whole code block; stops at the first illegal byte. */
+std::vector<VaxDisasmLine>
+vaxDisassembleBlock(const std::vector<std::uint8_t> &bytes,
+                    std::uint32_t base);
+
+} // namespace risc1
+
+#endif // RISC1_VAX_VDISASM_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The "VLSI CISC" baseline instruction set — a VAX-11/780-class
+ * architecture implemented as the comparison machine for the paper's
+ * evaluation (the paper compared RISC I against the VAX-11/780,
+ * PDP-11/70, M68000 and Z8002; one parametric VAX-class machine stands
+ * in for all of them, see DESIGN.md).
+ *
+ * Faithful CISC properties modelled:
+ *  - variable-length instructions: 1 opcode byte + operand specifiers
+ *  - rich addressing modes (literal, register, deferred, auto-inc/dec,
+ *    displacement of three widths, immediate, absolute)
+ *  - memory operands on ordinary ALU instructions
+ *  - microcoded multi-cycle timing (per-opcode base cost plus
+ *    per-specifier cost), patterned on published VAX-11/780 counts
+ *  - heavyweight CALLS/RET building a full stack frame with an entry
+ *    mask, plus the cheaper JSB/RSB subroutine linkage
+ *
+ * Opcode byte values are our own dense assignment (the real VAX's are
+ * immaterial to the architectural comparison).
+ */
+
+#ifndef RISC1_VAX_VISA_HH
+#define RISC1_VAX_VISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace risc1 {
+
+/** Baseline machine registers. */
+inline constexpr unsigned vaxNumRegs = 16;
+inline constexpr unsigned vaxAp = 12;  ///< argument pointer
+inline constexpr unsigned vaxFp = 13;  ///< frame pointer
+inline constexpr unsigned vaxSp = 14;  ///< stack pointer
+inline constexpr unsigned vaxPc = 15;  ///< program counter
+
+/** Baseline opcodes. */
+enum class VaxOpcode : std::uint8_t
+{
+    Halt = 0x00,
+    Nop  = 0x01,
+
+    // Moves.
+    Movl  = 0x10,
+    Movb  = 0x11,
+    Movw  = 0x12,
+    Moval = 0x13,  ///< move address (effective address of src)
+    Movzbl = 0x14,
+    Movzwl = 0x15,
+    Clrl  = 0x16,
+    Pushl = 0x17,
+    Mnegl = 0x18,
+    Mcoml = 0x19,
+
+    // Integer arithmetic / logic.
+    Addl2 = 0x20,
+    Addl3 = 0x21,
+    Subl2 = 0x22,
+    Subl3 = 0x23,
+    Mull2 = 0x24,
+    Mull3 = 0x25,
+    Divl2 = 0x26,
+    Divl3 = 0x27,
+    Incl  = 0x28,
+    Decl  = 0x29,
+    Bisl2 = 0x2a,  ///< bit set (OR)
+    Bicl2 = 0x2b,  ///< bit clear (AND NOT)
+    Xorl2 = 0x2c,
+    Ashl  = 0x2d,  ///< arithmetic shift: cnt, src, dst
+    Cmpl  = 0x2e,
+    Tstl  = 0x2f,
+    Cmpb  = 0x30,
+
+    // Branches (byte displacement unless noted).
+    Brb   = 0x40,
+    Brw   = 0x41,  ///< word displacement
+    Beql  = 0x42,
+    Bneq  = 0x43,
+    Blss  = 0x44,
+    Bleq  = 0x45,
+    Bgtr  = 0x46,
+    Bgeq  = 0x47,
+    Blssu = 0x48,
+    Blequ = 0x49,
+    Bgtru = 0x4a,
+    Bgequ = 0x4b,
+    Bvs   = 0x4c,
+    Bvc   = 0x4d,
+    Jmp   = 0x4e,  ///< general destination
+
+    // CISC loop instructions.
+    Sobgtr = 0x50,  ///< decrement, branch if > 0
+    Sobgeq = 0x51,  ///< decrement, branch if >= 0
+    Aoblss = 0x52,  ///< increment, branch if < limit
+    Aobleq = 0x53,  ///< increment, branch if <= limit
+
+    // Procedure linkage.
+    Calls = 0x60,  ///< heavyweight frame-building call
+    Ret   = 0x61,
+    Jsb   = 0x62,  ///< cheap subroutine jump (push PC)
+    Rsb   = 0x63,
+    Pushr = 0x64,  ///< push registers per mask
+    Popr  = 0x65,
+};
+
+/** How an instruction uses each of its operands. */
+enum class VaxOpndUse : std::uint8_t
+{
+    Read,      ///< general operand, read (longword)
+    ReadByte,  ///< general operand, read (byte)
+    ReadHalf,  ///< general operand, read (16-bit word)
+    Write,     ///< general operand, written
+    WriteByte,
+    WriteHalf,
+    Modify,    ///< read-modify-write
+    Address,   ///< effective address only (MOVAL, JMP, CALLS dst)
+    Branch8,   ///< byte PC-displacement in the instruction stream
+    Branch16,  ///< word PC-displacement
+};
+
+/** Instruction classes for statistics. */
+enum class VaxClass : std::uint8_t
+{
+    Move,
+    Alu,
+    Branch,
+    Loop,
+    CallRet,
+    Misc,
+};
+
+inline constexpr unsigned vaxMaxOperands = 3;
+
+/** Static description of one baseline opcode. */
+struct VaxOpInfo
+{
+    VaxOpcode op;
+    std::string_view mnemonic;
+    VaxClass cls;
+    /** Microcoded base cost in cycles (before specifier costs). */
+    std::uint8_t baseCycles;
+    std::uint8_t numOperands;
+    VaxOpndUse operands[vaxMaxOperands];
+};
+
+/** Metadata lookup; nullptr for illegal opcode bytes. */
+const VaxOpInfo *vaxOpcodeInfo(VaxOpcode op);
+
+/** Mnemonic lookup. */
+std::optional<VaxOpcode> vaxOpcodeFromMnemonic(std::string_view mnemonic);
+
+/** All opcodes, table order. */
+const VaxOpInfo *vaxAllOpcodes(std::size_t &count);
+
+/** Addressing-mode nibbles (specifier high nibble). */
+enum class VaxMode : std::uint8_t
+{
+    Literal0 = 0x0,  ///< modes 0-3: 6-bit short literal
+    Literal1 = 0x1,
+    Literal2 = 0x2,
+    Literal3 = 0x3,
+    Register = 0x5,
+    Deferred = 0x6,      ///< (Rn)
+    AutoDec  = 0x7,      ///< -(Rn)
+    AutoInc  = 0x8,      ///< (Rn)+ ; immediate when Rn = PC
+    AutoIncDef = 0x9,    ///< @(Rn)+ ; absolute when Rn = PC
+    DispByte = 0xa,      ///< disp8(Rn)
+    DispWord = 0xc,      ///< disp16(Rn)
+    DispLong = 0xe,      ///< disp32(Rn)
+};
+
+/** Per-specifier decode/EA-calculation cost in cycles. */
+unsigned vaxSpecCycles(VaxMode mode);
+
+} // namespace risc1
+
+#endif // RISC1_VAX_VISA_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The call-intensive workloads: Ackermann, recursive Fibonacci, and
+ * towers of Hanoi — the programs the paper's procedure-call analysis
+ * (register windows vs memory frames) is built around.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+
+namespace {
+
+std::uint32_t
+refAck(std::uint32_t m, std::uint32_t n)
+{
+    if (m == 0)
+        return n + 1;
+    if (n == 0)
+        return refAck(m - 1, 1);
+    return refAck(m - 1, refAck(m, n - 1));
+}
+
+std::uint32_t
+refFib(std::uint32_t n)
+{
+    return n < 2 ? n : refFib(n - 1) + refFib(n - 2);
+}
+
+} // namespace
+
+Workload
+makeAckermann()
+{
+    Workload w;
+    w.id = "ackermann";
+    w.name = "Ackermann(3,3)";
+    w.provenance = "call-cost analysis (paper section on CALL "
+                   "frequency and register windows)";
+    w.callIntensive = true;
+    w.expected = refAck(3, 3);
+
+    w.riscSource = R"(
+; Ackermann(3,3).  Args in LOW (r10=m, r11=n); the callee sees them in
+; HIGH (r26=m, r27=n) and returns through the caller's r10.
+start:  ldi   r10, 3
+        ldi   r11, 3
+        call  ack
+        nop
+        mov   r1, r10
+        halt
+ack:    cmp   r26, 0
+        bne   m_nz
+        nop
+        add   r26, r27, 1     ; m == 0: return n + 1
+        ret
+        nop
+m_nz:   cmp   r27, 0
+        bne   n_nz
+        nop
+        sub   r10, r26, 1     ; ack(m-1, 1)
+        ldi   r11, 1
+        call  ack
+        nop
+        mov   r26, r10        ; pass result up
+        ret
+        nop
+n_nz:   mov   r10, r26        ; ack(m, n-1)
+        sub   r11, r27, 1
+        call  ack
+        nop
+        mov   r11, r10        ; ack(m-1, inner result)
+        sub   r10, r26, 1
+        call  ack
+        nop
+        mov   r26, r10
+        ret
+        nop
+)";
+
+    w.vaxSource = R"(
+; Ackermann(3,3) on the CISC baseline: every level is a full CALLS
+; frame through memory.  Args at 4(ap)=m, 8(ap)=n; result in r0.
+start:  pushl #3              ; n
+        pushl #3              ; m
+        calls #2, ack
+        halt
+ack:    .mask 0x000c          ; save r2, r3
+        movl  4(ap), r2       ; m
+        movl  8(ap), r3       ; n
+        tstl  r2
+        bneq  m_nz
+        addl3 #1, r3, r0      ; return n + 1
+        ret
+m_nz:   tstl  r3
+        bneq  n_nz
+        pushl #1              ; ack(m-1, 1)
+        subl3 #1, r2, r0
+        pushl r0
+        calls #2, ack
+        ret
+n_nz:   subl3 #1, r3, r0      ; ack(m, n-1)
+        pushl r0
+        pushl r2
+        calls #2, ack
+        pushl r0              ; ack(m-1, inner result)
+        subl3 #1, r2, r0
+        pushl r0
+        calls #2, ack
+        ret
+)";
+    return w;
+}
+
+Workload
+makeFibRec()
+{
+    Workload w;
+    w.id = "fib_rec";
+    w.name = "Fibonacci(15) recursive";
+    w.provenance = "call-intensive suite (window analysis)";
+    w.callIntensive = true;
+    w.expected = refFib(15);
+
+    w.riscSource = R"(
+; Recursive Fibonacci(15): arg in r26, result via caller's r10.
+start:  ldi   r10, 15
+        call  fib
+        nop
+        mov   r1, r10
+        halt
+fib:    cmp   r26, 2
+        bge   rec
+        nop
+        ret                   ; fib(0)=0, fib(1)=1: arg already in place
+        nop
+rec:    sub   r10, r26, 1
+        call  fib
+        nop
+        mov   r16, r10        ; fib(n-1) in a window-private local
+        sub   r10, r26, 2
+        call  fib
+        nop
+        add   r26, r16, r10
+        ret
+        nop
+)";
+
+    w.vaxSource = R"(
+; Recursive Fibonacci(15) on the CISC baseline.
+start:  pushl #15
+        calls #1, fib
+        halt
+fib:    .mask 0x000c          ; save r2, r3
+        movl  4(ap), r2
+        cmpl  r2, #2
+        bgeq  rec
+        movl  r2, r0          ; fib(0)=0, fib(1)=1
+        ret
+rec:    subl3 #1, r2, r0
+        pushl r0
+        calls #1, fib
+        movl  r0, r3          ; fib(n-1)
+        subl3 #2, r2, r0
+        pushl r0
+        calls #1, fib
+        addl2 r3, r0
+        ret
+)";
+    return w;
+}
+
+Workload
+makeHanoi()
+{
+    Workload w;
+    w.id = "hanoi";
+    w.name = "Towers of Hanoi(10)";
+    w.provenance = "call-intensive suite (window analysis)";
+    w.callIntensive = true;
+    w.expected = (1u << 10) - 1; // 2^n - 1 moves
+
+    w.riscSource = R"(
+; Towers of Hanoi(10), counting moves in global r2.
+; Callee args: r26=n, r27=from, r28=to, r29=via.
+start:  clr   r2
+        ldi   r10, 10
+        ldi   r11, 1
+        ldi   r12, 2
+        ldi   r13, 3
+        call  hanoi
+        nop
+        mov   r1, r2
+        halt
+hanoi:  cmp   r26, 0
+        bne   rec
+        nop
+        ret
+        nop
+rec:    sub   r10, r26, 1     ; hanoi(n-1, from, via, to)
+        mov   r11, r27
+        mov   r12, r29
+        mov   r13, r28
+        call  hanoi
+        nop
+        inc   r2              ; move disc n
+        sub   r10, r26, 1     ; hanoi(n-1, via, to, from)
+        mov   r11, r29
+        mov   r12, r28
+        mov   r13, r27
+        call  hanoi
+        nop
+        ret
+        nop
+)";
+
+    w.vaxSource = R"(
+; Towers of Hanoi(10) on the CISC baseline; the move counter lives in
+; memory (CISC-idiomatic incl on a memory operand).
+start:  clrl  count
+        pushl #3              ; via
+        pushl #2              ; to
+        pushl #1              ; from
+        pushl #10             ; n
+        calls #4, hanoi
+        movl  count, r0
+        halt
+hanoi:  .mask 0x003c          ; save r2-r5
+        movl  4(ap), r2       ; n
+        tstl  r2
+        bneq  rec
+        ret
+rec:    movl  8(ap), r3       ; from
+        movl  12(ap), r4      ; to
+        movl  16(ap), r5      ; via
+        pushl r4              ; hanoi(n-1, from, via, to)
+        pushl r5
+        pushl r3
+        subl3 #1, r2, r0
+        pushl r0
+        calls #4, hanoi
+        incl  count           ; move disc n
+        pushl r3              ; hanoi(n-1, via, to, from)
+        pushl r4
+        pushl r5
+        subl3 #1, r2, r0
+        pushl r0
+        calls #4, hanoi
+        ret
+        .align 4
+count:  .word 0
+)";
+    return w;
+}
+
+} // namespace risc1

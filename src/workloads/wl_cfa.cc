@@ -1,0 +1,445 @@
+/**
+ * @file
+ * The four CFA-style benchmarks the paper's evaluation uses:
+ * E (string search), F (bit test), H (linked-list insertion), and
+ * K (bit-matrix transposition).  Each has a native reference
+ * implementation that supplies the expected checksum.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace risc1 {
+
+namespace {
+
+const char *const kHaystack = "THIS IS THE HAYSTACK WHERE THE NEEDLE "
+                              "HIDES IN PLAIN SIGHT";
+const char *const kNeedle = "NEEDLE";
+
+std::uint32_t
+refStrSearch()
+{
+    const char *pos = std::strstr(kHaystack, kNeedle);
+    return pos ? static_cast<std::uint32_t>(pos - kHaystack) : 0xffff;
+}
+
+constexpr std::array<std::uint32_t, 16> kBitWords = {
+    0xffffffffu, 0x00000000u, 0xaaaaaaaau, 0x12345678u,
+    0x80000001u, 0x0f0f0f0fu, 0xdeadbeefu, 0x00000001u,
+    0xfffefffeu, 0x13579bdfu, 0x2468ace0u, 0x55555555u,
+    0xc0ffee00u, 0x00c0ffeeu, 0x7fffffffu, 0x01010101u,
+};
+
+std::uint32_t
+refBitTest()
+{
+    std::uint32_t total = 0;
+    for (std::uint32_t w : kBitWords)
+        for (int i = 0; i < 32; ++i)
+            total += (w >> i) & 1;
+    return total;
+}
+
+constexpr std::array<std::uint32_t, 12> kListValues = {
+    55, 3, 27, 81, 12, 9, 64, 41, 7, 99, 33, 18,
+};
+
+std::uint32_t
+refLinkedList()
+{
+    auto sorted = kListValues;
+    std::sort(sorted.begin(), sorted.end());
+    std::uint32_t chk = 0;
+    for (std::uint32_t v : sorted)
+        chk = (chk << 1) + v;
+    return chk;
+}
+
+std::uint32_t
+refBitMatrix()
+{
+    std::array<std::uint32_t, 32> in{};
+    std::uint32_t x = 0x12345678;
+    for (auto &w : in) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        w = x;
+    }
+    std::uint32_t sum = 0;
+    for (unsigned j = 0; j < 32; ++j) {
+        std::uint32_t out = 0;
+        for (unsigned i = 0; i < 32; ++i)
+            out |= ((in[i] >> j) & 1u) << i;
+        sum += out;
+    }
+    return sum;
+}
+
+std::string
+wordList(const std::uint32_t *values, std::size_t count)
+{
+    std::string out;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+Workload
+makeStrSearch()
+{
+    Workload w;
+    w.id = "e_strsearch";
+    w.name = "E: string search";
+    w.provenance = "CFA benchmark E (paper's benchmark suite)";
+    w.callIntensive = false;
+    w.expected = refStrSearch();
+
+    w.riscSource = std::string(R"(
+; CFA benchmark E: naive substring search.
+; Result: index of first match in global r1.
+start:  ldi   r2, text        ; current window start
+        clr   r1              ; index
+outer:  ldi   r3, pattern
+        mov   r4, r2
+inner:  ldbu  r5, (r3)        ; pattern char
+        cmp   r5, 0
+        beq   found           ; pattern exhausted: match at r1
+        nop
+        ldbu  r6, (r4)
+        cmp   r6, 0
+        beq   notfound        ; text exhausted
+        nop
+        cmp   r5, r6
+        bne   next
+        nop
+        inc   r3
+        bra   inner
+        inc   r4              ; delay slot advances the text cursor
+next:   inc   r2
+        bra   outer
+        inc   r1              ; delay slot advances the match index
+found:  halt
+notfound:
+        ldi   r1, 0xffff
+        halt
+text:   .asciz ")") + kHaystack + R"("
+pattern: .asciz ")" + kNeedle + R"("
+)";
+
+    w.vaxSource = std::string(R"(
+; CFA benchmark E on the CISC baseline.  Result in r0.
+start:  moval text, r1
+        clrl  r0
+outer:  moval pattern, r2
+        movl  r1, r3
+inner:  movzbl (r2)+, r4
+        tstl  r4
+        beql  done            ; pattern exhausted: match at r0
+        movzbl (r3)+, r5
+        tstl  r5
+        beql  notfnd
+        cmpl  r4, r5
+        bneq  next
+        brb   inner
+next:   incl  r1
+        incl  r0
+        brb   outer
+notfnd: movl  #0xffff, r0
+done:   halt
+text:   .asciz ")") + kHaystack + R"("
+pattern: .asciz ")" + kNeedle + R"("
+)";
+    return w;
+}
+
+Workload
+makeBitTest()
+{
+    const std::string words = wordList(kBitWords.data(),
+                                       kBitWords.size());
+    Workload w;
+    w.id = "f_bittest";
+    w.name = "F: bit test";
+    w.provenance = "CFA benchmark F (paper's benchmark suite)";
+    w.callIntensive = false;
+    w.expected = refBitTest();
+
+    w.riscSource = R"(
+; CFA benchmark F: population count over a word table.
+start:  ldi   r2, table
+        ldi   r3, 16          ; words
+        clr   r1
+wloop:  ldl   r4, (r2)
+        ldi   r5, 32
+bloop:  and   r6, r4, 1
+        add   r1, r1, r6
+        srl   r4, r4, 1
+        dec   r5
+        cmp   r5, 0
+        bne   bloop
+        nop
+        add   r2, r2, 4
+        dec   r3
+        cmp   r3, 0
+        bne   wloop
+        nop
+        halt
+        .align 4
+table:  .word )" + words + "\n";
+
+    w.vaxSource = R"(
+; CFA benchmark F on the CISC baseline.
+start:  moval table, r1
+        movl  #16, r2
+        clrl  r0
+wloop:  movl  (r1)+, r3
+        movl  #32, r4
+bloop:  movl  r3, r5
+        bicl2 #0xfffffffe, r5 ; isolate bit 0
+        addl2 r5, r0
+        ashl  #-1, r3, r3
+        sobgtr r4, bloop
+        sobgtr r2, wloop
+        halt
+        .align 4
+table:  .word )" + words + "\n";
+    return w;
+}
+
+Workload
+makeLinkedList()
+{
+    const std::string values = wordList(kListValues.data(),
+                                        kListValues.size());
+    Workload w;
+    w.id = "h_linkedlist";
+    w.name = "H: linked list";
+    w.provenance = "CFA benchmark H (paper's benchmark suite)";
+    w.callIntensive = false;
+    w.expected = refLinkedList();
+
+    w.riscSource = R"(
+; CFA benchmark H: sorted insertion into a singly linked list, then
+; an order-sensitive traversal checksum (chk = chk*2 + value).
+; Node layout: [value, next]; nil = 0.
+start:  ldi   r2, arena       ; bump allocator
+        ldi   r3, values
+        ldi   r4, 12          ; count
+        clr   r5              ; head = nil
+next:   ldl   r6, (r3)        ; v = *values
+        mov   r7, r2          ; node = alloc(8)
+        add   r2, r2, 8
+        stl   r6, 0(r7)
+        clr   r8              ; prev = nil
+        mov   r9, r5          ; cur = head
+scan:   cmp   r9, 0
+        beq   place
+        nop
+        ldl   r16, 0(r9)
+        cmp   r16, r6
+        bge   place
+        nop
+        mov   r8, r9          ; prev = cur
+        bra   scan
+        ldl   r9, 4(r9)       ; delay slot: cur = cur->next
+place:  stl   r9, 4(r7)       ; node->next = cur
+        cmp   r8, 0
+        beq   sethead
+        nop
+        stl   r7, 4(r8)       ; prev->next = node
+        bra   advance
+        nop
+sethead:
+        mov   r5, r7
+advance:
+        add   r3, r3, 4
+        dec   r4
+        cmp   r4, 0
+        bne   next
+        nop
+        clr   r1              ; checksum traversal
+        mov   r9, r5
+walk:   cmp   r9, 0
+        beq   fin
+        nop
+        ldl   r6, 0(r9)
+        sll   r1, r1, 1
+        add   r1, r1, r6
+        bra   walk
+        ldl   r9, 4(r9)       ; delay slot: advance
+fin:    halt
+        .align 4
+values: .word )" + values + R"(
+arena:  .space 96
+)";
+
+    w.vaxSource = R"(
+; CFA benchmark H on the CISC baseline.
+start:  moval arena, r1       ; bump allocator
+        moval values, r2
+        movl  #12, r3
+        clrl  r4              ; head = nil
+next:   movl  (r2)+, r5       ; v
+        movl  r1, r6          ; node = alloc(8)
+        addl2 #8, r1
+        movl  r5, (r6)
+        clrl  r7              ; prev = nil
+        movl  r4, r8          ; cur = head
+scan:   tstl  r8
+        beql  place
+        cmpl  (r8), r5        ; cur->value vs v
+        bgeq  place
+        movl  r8, r7
+        movl  4(r8), r8
+        brb   scan
+place:  movl  r8, 4(r6)       ; node->next = cur
+        tstl  r7
+        beql  sethead
+        movl  r6, 4(r7)
+        brb   advance
+sethead:
+        movl  r6, r4
+advance:
+        sobgtr r3, next
+        clrl  r0              ; checksum traversal
+        movl  r4, r8
+walk:   tstl  r8
+        beql  fin
+        ashl  #1, r0, r0
+        addl2 (r8), r0
+        movl  4(r8), r8
+        brb   walk
+fin:    halt
+        .align 4
+values: .word )" + values + R"(
+arena:  .space 96
+)";
+    return w;
+}
+
+Workload
+makeBitMatrix()
+{
+    Workload w;
+    w.id = "k_bitmatrix";
+    w.name = "K: bit matrix";
+    w.provenance = "CFA benchmark K (paper's benchmark suite)";
+    w.callIntensive = false;
+    w.expected = refBitMatrix();
+
+    w.riscSource = R"(
+; CFA benchmark K: 32x32 bit-matrix transposition.
+; Fill with xorshift32, transpose bitwise, sum the result words.
+start:  ldi   r2, 0x12345678  ; xorshift state
+        ldi   r3, matin
+        ldi   r4, 32
+fill:   sll   r5, r2, 13
+        xor   r2, r2, r5
+        srl   r5, r2, 17
+        xor   r2, r2, r5
+        sll   r5, r2, 5
+        xor   r2, r2, r5
+        stl   r2, (r3)
+        add   r3, r3, 4
+        dec   r4
+        cmp   r4, 0
+        bne   fill
+        nop
+        clr   r6              ; j
+tj:     clr   r7              ; out[j] accumulator
+        clr   r8              ; i
+ti:     sll   r16, r8, 2
+        ldi   r9, matin
+        add   r9, r9, r16
+        ldl   r9, (r9)        ; in[i]
+        srl   r9, r9, r6
+        and   r9, r9, 1
+        sll   r9, r9, r8
+        or    r7, r7, r9
+        inc   r8
+        cmp   r8, 32
+        bne   ti
+        nop
+        sll   r16, r6, 2
+        ldi   r9, matout
+        add   r9, r9, r16
+        stl   r7, (r9)
+        inc   r6
+        cmp   r6, 32
+        bne   tj
+        nop
+        ldi   r2, matout      ; checksum
+        ldi   r3, 32
+        clr   r1
+sum:    ldl   r4, (r2)
+        add   r1, r1, r4
+        add   r2, r2, 4
+        dec   r3
+        cmp   r3, 0
+        bne   sum
+        nop
+        halt
+        .align 4
+matin:  .space 128
+matout: .space 128
+)";
+
+    w.vaxSource = R"(
+; CFA benchmark K on the CISC baseline.
+start:  movl  #0x12345678, r1
+        moval matin, r2
+        movl  #32, r3
+fill:   ashl  #13, r1, r4
+        xorl2 r4, r1
+        ashl  #-17, r1, r4
+        bicl2 #0xffff8000, r4 ; ashl is arithmetic; force logical >>17
+        xorl2 r4, r1
+        ashl  #5, r1, r4
+        xorl2 r4, r1
+        movl  r1, (r2)+
+        sobgtr r3, fill
+        clrl  r5              ; j
+tj:     clrl  r6              ; out[j]
+        clrl  r7              ; i
+ti:     ashl  #2, r7, r8
+        addl2 #matin, r8
+        movl  (r8), r8        ; in[i]
+        mnegl r5, r9
+        ashl  r9, r8, r8      ; >> j
+        bicl2 #0xfffffffe, r8
+        ashl  r7, r8, r8      ; << i
+        bisl2 r8, r6
+        incl  r7
+        cmpl  r7, #32
+        bneq  ti
+        ashl  #2, r5, r8
+        addl2 #matout, r8
+        movl  r6, (r8)        ; store via computed address
+        incl  r5
+        cmpl  r5, #32
+        bneq  tj
+        moval matout, r2      ; checksum
+        movl  #32, r3
+        clrl  r0
+sum:    addl2 (r2)+, r0
+        sobgtr r3, sum
+        halt
+        .align 4
+matin:  .space 128
+matout: .space 128
+)";
+    return w;
+}
+
+} // namespace risc1

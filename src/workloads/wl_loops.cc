@@ -1,0 +1,540 @@
+/**
+ * @file
+ * The loop-dominated workloads: recursive quicksort, the sieve of
+ * Eratosthenes, and a subscript-heavy "puzzle" kernel.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <array>
+
+namespace risc1 {
+
+namespace {
+
+constexpr unsigned kSortCount = 64;
+constexpr unsigned kSieveLimit = 1000;
+constexpr unsigned kPuzzleWords = 64;
+constexpr unsigned kPuzzleIters = 40;
+
+std::array<std::uint32_t, kSortCount>
+sortInput()
+{
+    std::array<std::uint32_t, kSortCount> a{};
+    std::uint32_t x = 0x2a2a2a2a;
+    for (auto &v : a) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        v = x & 0xfff;
+    }
+    return a;
+}
+
+std::uint32_t
+foldChecksum(const std::uint32_t *a, unsigned n)
+{
+    std::uint32_t chk = 0;
+    for (unsigned i = 0; i < n; ++i)
+        chk = (chk << 5) - chk + a[i]; // chk = chk*31 + a[i]
+    return chk;
+}
+
+std::uint32_t
+refQsort()
+{
+    auto a = sortInput();
+    // Lomuto partition quicksort, identical to the assembly versions.
+    struct Rec
+    {
+        static void
+        sort(std::uint32_t *arr, int lo, int hi)
+        {
+            if (lo >= hi)
+                return;
+            const std::uint32_t pivot = arr[hi];
+            int i = lo;
+            for (int j = lo; j < hi; ++j) {
+                if (arr[j] < pivot) {
+                    std::swap(arr[i], arr[j]);
+                    ++i;
+                }
+            }
+            std::swap(arr[i], arr[hi]);
+            sort(arr, lo, i - 1);
+            sort(arr, i + 1, hi);
+        }
+    };
+    Rec::sort(a.data(), 0, kSortCount - 1);
+    return foldChecksum(a.data(), kSortCount);
+}
+
+std::uint32_t
+refSieve()
+{
+    std::array<std::uint8_t, kSieveLimit> flag;
+    flag.fill(1);
+    std::uint32_t count = 0;
+    for (unsigned p = 2; p < kSieveLimit; ++p) {
+        if (!flag[p])
+            continue;
+        ++count;
+        for (unsigned m = p + p; m < kSieveLimit; m += p)
+            flag[m] = 0;
+    }
+    return count;
+}
+
+std::uint32_t
+refPuzzle()
+{
+    std::array<std::uint32_t, kPuzzleWords> a{};
+    for (unsigned i = 0; i < kPuzzleWords; ++i)
+        a[i] = i;
+    for (unsigned iter = 0; iter < kPuzzleIters; ++iter) {
+        for (unsigned i = 0; i < kPuzzleWords / 2; ++i)
+            std::swap(a[i], a[kPuzzleWords - 1 - i]);
+        a[iter % kPuzzleWords] += iter;
+    }
+    return foldChecksum(a.data(), kPuzzleWords);
+}
+
+} // namespace
+
+Workload
+makeQsort()
+{
+    Workload w;
+    w.id = "qsort_rec";
+    w.name = "Quicksort(64) recursive";
+    w.provenance = "paper-era benchmark (recursive qsort)";
+    w.callIntensive = true;
+    w.expected = refQsort();
+
+    w.riscSource = R"(
+; Recursive quicksort of 64 words (Lomuto), then a chk*31+v fold.
+; qsort args are ADDRESSES: r26=lo, r27=hi (inclusive).
+start:  ldi   r2, 0x2a2a2a2a  ; fill input via xorshift
+        ldi   r3, arr
+        ldi   r4, 64
+fill:   sll   r5, r2, 13
+        xor   r2, r2, r5
+        srl   r5, r2, 17
+        xor   r2, r2, r5
+        sll   r5, r2, 5
+        xor   r2, r2, r5
+        and   r6, r2, 0xfff
+        stl   r6, (r3)
+        add   r3, r3, 4
+        dec   r4
+        cmp   r4, 0
+        bne   fill
+        nop
+        ldi   r10, arr        ; qsort(&arr[0], &arr[63])
+        ldi   r11, arr + 252
+        call  qsort
+        nop
+        ldi   r2, arr         ; checksum
+        ldi   r3, 64
+        clr   r1
+chk:    sll   r4, r1, 5
+        sub   r1, r4, r1      ; chk = chk*31
+        ldl   r4, (r2)
+        add   r1, r1, r4
+        add   r2, r2, 4
+        dec   r3
+        cmp   r3, 0
+        bne   chk
+        nop
+        halt
+
+qsort:  cmp   r26, r27
+        bge   qdone           ; lo >= hi
+        nop
+        ldl   r16, (r27)      ; pivot = *hi
+        mov   r17, r26        ; i = lo
+        mov   r18, r26        ; j = lo
+qloop:  cmp   r18, r27
+        beq   qpart
+        nop
+        ldl   r19, (r18)
+        cmp   r19, r16
+        bge   qnoswap
+        nop
+        ldl   r20, (r17)      ; swap *i, *j
+        stl   r19, (r17)
+        stl   r20, (r18)
+        add   r17, r17, 4
+qnoswap:
+        bra   qloop
+        add   r18, r18, 4     ; delay slot advances j
+qpart:  ldl   r19, (r17)      ; swap *i, *hi
+        ldl   r20, (r27)
+        stl   r20, (r17)
+        stl   r19, (r27)
+        mov   r10, r26        ; qsort(lo, i-4)
+        sub   r11, r17, 4
+        call  qsort
+        nop
+        add   r10, r17, 4     ; qsort(i+4, hi)
+        mov   r11, r27
+        call  qsort
+        nop
+qdone:  ret
+        nop
+        .align 4
+arr:    .space 256
+)";
+
+    w.vaxSource = R"(
+; Recursive quicksort on the CISC baseline; args are addresses on the
+; stack: 4(ap)=lo, 8(ap)=hi.
+start:  movl  #0x2a2a2a2a, r1
+        moval arr, r2
+        movl  #64, r3
+fill:   ashl  #13, r1, r4
+        xorl2 r4, r1
+        ashl  #-17, r1, r4
+        bicl2 #0xffff8000, r4 ; ashl is arithmetic; force logical >>17
+        xorl2 r4, r1
+        ashl  #5, r1, r4
+        xorl2 r4, r1
+        movl  r1, r5
+        bicl2 #0xfffff000, r5 ; keep low 12 bits
+        movl  r5, (r2)+
+        sobgtr r3, fill
+        pushl #arr + 252      ; hi
+        pushl #arr            ; lo
+        calls #2, qsort
+        moval arr, r2         ; checksum
+        movl  #64, r3
+        clrl  r0
+chk:    ashl  #5, r0, r4
+        subl3 r0, r4, r0      ; chk = chk*31
+        addl2 (r2)+, r0
+        sobgtr r3, chk
+        halt
+
+qsort:  .mask 0x007c          ; save r2-r6
+        movl  4(ap), r2       ; lo
+        movl  8(ap), r3       ; hi
+        cmpl  r2, r3
+        bgequ qdone
+        movl  (r3), r4        ; pivot
+        movl  r2, r5          ; i = lo
+        movl  r2, r6          ; j = lo
+qloop:  cmpl  r6, r3
+        beql  qpart
+        cmpl  (r6), r4
+        bgequ qnoswap
+        movl  (r5), r0        ; swap *i, *j
+        movl  (r6), r1
+        movl  r1, (r5)
+        movl  r0, (r6)
+        addl2 #4, r5
+qnoswap:
+        addl2 #4, r6
+        brb   qloop
+qpart:  movl  (r5), r0        ; swap *i, *hi
+        movl  (r3), r1
+        movl  r1, (r5)
+        movl  r0, (r3)
+        subl3 #4, r5, r0      ; qsort(lo, i-4)
+        pushl r0
+        pushl r2
+        calls #2, qsort
+        pushl r3              ; qsort(i+4, hi)
+        addl3 #4, r5, r0
+        pushl r0
+        calls #2, qsort
+qdone:  ret
+        .align 4
+arr:    .space 256
+)";
+    return w;
+}
+
+Workload
+makeSieve()
+{
+    Workload w;
+    w.id = "sieve";
+    w.name = "Sieve of Eratosthenes(1000)";
+    w.provenance = "paper-era benchmark (sieve)";
+    w.callIntensive = false;
+    w.expected = refSieve();
+
+    w.riscSource = R"(
+; Sieve of Eratosthenes: count primes below 1000.
+start:  ldi   r2, flags       ; init flags[0..999] = 1
+        ldi   r3, 1000
+        ldi   r4, 1
+init:   stb   r4, (r2)
+        inc   r2
+        dec   r3
+        cmp   r3, 0
+        bne   init
+        nop
+        clr   r1              ; prime count
+        ldi   r5, 2           ; p
+ploop:  ldi   r2, flags
+        add   r2, r2, r5
+        ldbu  r4, (r2)
+        cmp   r4, 0
+        beq   pnext
+        nop
+        inc   r1              ; p is prime
+        add   r6, r5, r5      ; m = 2p
+mloop:  cmp   r6, 1000
+        bge   pnext
+        nop
+        ldi   r2, flags
+        add   r2, r2, r6
+        stb   r0, (r2)        ; flags[m] = 0
+        bra   mloop
+        add   r6, r6, r5      ; delay slot: m += p
+pnext:  inc   r5
+        cmp   r5, 1000
+        bne   ploop
+        nop
+        halt
+flags:  .space 1000
+)";
+
+    w.vaxSource = R"(
+; Sieve of Eratosthenes on the CISC baseline.
+start:  moval flags, r1       ; init flags = 1
+        movl  #1000, r2
+init:   movb  #1, (r1)+
+        sobgtr r2, init
+        clrl  r0              ; prime count
+        movl  #2, r3          ; p
+ploop:  movzbl flags(r3), r4  ; indexed byte load via displacement
+        tstl  r4
+        beql  pnext
+        incl  r0
+        addl3 r3, r3, r5      ; m = 2p
+mloop:  cmpl  r5, #1000
+        bgeq  pnext
+        clrl  r6
+        movb  r6, flags(r5)
+        addl2 r3, r5
+        brb   mloop
+pnext:  incl  r3
+        cmpl  r3, #1000
+        bneq  ploop
+        halt
+flags:  .space 1000
+)";
+    return w;
+}
+
+Workload
+makePuzzle()
+{
+    Workload w;
+    w.id = "puzzle_like";
+    w.name = "Puzzle (array permutation)";
+    w.provenance = "loop/subscript-dominated contrast workload";
+    w.callIntensive = false;
+    w.expected = refPuzzle();
+
+    w.riscSource = R"(
+; Subscript-heavy kernel: 40 iterations of reverse-and-perturb over a
+; 64-word array, then a chk*31+v fold.
+start:  ldi   r2, arr         ; a[i] = i
+        clr   r3
+ifill:  stl   r3, (r2)
+        add   r2, r2, 4
+        inc   r3
+        cmp   r3, 64
+        bne   ifill
+        nop
+        clr   r4              ; iter
+iter:   ldi   r2, arr         ; reverse halves
+        ldi   r3, arr + 252
+rev:    ldl   r5, (r2)
+        ldl   r6, (r3)
+        stl   r6, (r2)
+        stl   r5, (r3)
+        add   r2, r2, 4
+        sub   r3, r3, 4
+        cmp   r2, r3
+        blt   rev
+        nop
+        and   r5, r4, 63      ; a[iter % 64] += iter
+        sll   r5, r5, 2
+        ldi   r6, arr
+        add   r6, r6, r5
+        ldl   r7, (r6)
+        add   r7, r7, r4
+        stl   r7, (r6)
+        inc   r4
+        cmp   r4, 40
+        bne   iter
+        nop
+        ldi   r2, arr         ; checksum
+        ldi   r3, 64
+        clr   r1
+chk:    sll   r5, r1, 5
+        sub   r1, r5, r1
+        ldl   r5, (r2)
+        add   r1, r1, r5
+        add   r2, r2, 4
+        dec   r3
+        cmp   r3, 0
+        bne   chk
+        nop
+        halt
+        .align 4
+arr:    .space 256
+)";
+
+    w.vaxSource = R"(
+; Subscript-heavy kernel on the CISC baseline.
+start:  moval arr, r1         ; a[i] = i
+        clrl  r2
+ifill:  movl  r2, (r1)+
+        aoblss #64, r2, ifill
+        clrl  r3              ; iter
+iter:   moval arr, r1         ; reverse halves
+        moval arr + 252, r2
+rev:    movl  (r1), r4
+        movl  (r2), r5
+        movl  r5, (r1)
+        movl  r4, (r2)
+        addl2 #4, r1
+        subl2 #4, r2
+        cmpl  r1, r2
+        blssu rev
+        movl  r3, r4          ; a[iter % 64] += iter
+        bicl2 #0xffffffc0, r4
+        ashl  #2, r4, r4
+        addl2 #arr, r4
+        addl2 r3, (r4)        ; read-modify-write memory operand
+        incl  r3
+        cmpl  r3, #40
+        bneq  iter
+        moval arr, r1         ; checksum
+        movl  #64, r2
+        clrl  r0
+chk:    ashl  #5, r0, r4
+        subl3 r0, r4, r0
+        addl2 (r1)+, r0
+        sobgtr r2, chk
+        halt
+        .align 4
+arr:    .space 256
+)";
+    return w;
+}
+
+
+Workload
+makePuzzleSubscript()
+{
+    // The paper's benchmark set famously distinguishes a "subscript"
+    // and a "pointer" version of the Puzzle program.  This is the
+    // subscript-style twin of makePuzzle(): the identical algorithm
+    // (and therefore the identical reference checksum), but every
+    // array access recomputes base + 4*i instead of walking pointers.
+    Workload w;
+    w.id = "puzzle_sub";
+    w.name = "Puzzle (subscript style)";
+    w.provenance = "paper benchmark pair: puzzle(subscript) vs "
+                   "puzzle(pointer)";
+    w.callIntensive = false;
+    w.expected = refPuzzle();
+
+    w.riscSource = R"(
+; Subscript-style puzzle kernel: every access computes base + 4*i.
+start:  ldi   r2, arr         ; base register, never clobbered
+        clr   r3
+ifill:  sll   r4, r3, 2
+        add   r4, r4, r2
+        stl   r3, (r4)
+        inc   r3
+        cmp   r3, 64
+        bne   ifill
+        nop
+        clr   r5              ; iter
+iter:   clr   r6              ; i
+rev:    sll   r7, r6, 2
+        add   r7, r7, r2      ; &a[i]
+        subr  r8, r6, 63      ; 63 - i
+        sll   r8, r8, 2
+        add   r8, r8, r2      ; &a[63-i]
+        ldl   r9, (r7)
+        ldl   r16, (r8)
+        stl   r16, (r7)
+        stl   r9, (r8)
+        inc   r6
+        cmp   r6, 32
+        bne   rev
+        nop
+        and   r7, r5, 63      ; a[iter % 64] += iter
+        sll   r7, r7, 2
+        add   r7, r7, r2
+        ldl   r8, (r7)
+        add   r8, r8, r5
+        stl   r8, (r7)
+        inc   r5
+        cmp   r5, 40
+        bne   iter
+        nop
+        clr   r1              ; checksum, subscript style
+        clr   r3
+chk:    sll   r4, r1, 5
+        sub   r1, r4, r1
+        sll   r4, r3, 2
+        add   r4, r4, r2
+        ldl   r4, (r4)
+        add   r1, r1, r4
+        inc   r3
+        cmp   r3, 64
+        bne   chk
+        nop
+        halt
+        .align 4
+arr:    .space 256
+)";
+
+    w.vaxSource = R"(
+; Subscript-style puzzle on the CISC baseline: displacement mode
+; arr(rN) with a scaled index in rN.
+start:  clrl  r1              ; i
+ifill:  ashl  #2, r1, r2
+        movl  r1, arr(r2)
+        aoblss #64, r1, ifill
+        clrl  r3              ; iter
+iter:   clrl  r4              ; i
+rev:    ashl  #2, r4, r5
+        subl3 r4, #63, r6     ; 63 - i
+        ashl  #2, r6, r6
+        movl  arr(r5), r7
+        movl  arr(r6), r8
+        movl  r8, arr(r5)
+        movl  r7, arr(r6)
+        aoblss #32, r4, rev
+        movl  r3, r5          ; a[iter % 64] += iter
+        bicl2 #0xffffffc0, r5
+        ashl  #2, r5, r5
+        addl2 r3, arr(r5)
+        incl  r3
+        cmpl  r3, #40
+        bneq  iter
+        clrl  r0              ; checksum
+        clrl  r1
+chk:    ashl  #5, r0, r2
+        subl3 r0, r2, r0
+        ashl  #2, r1, r2
+        addl2 arr(r2), r0
+        aoblss #64, r1, chk
+        halt
+        .align 4
+arr:    .space 256
+)";
+    return w;
+}
+
+} // namespace risc1

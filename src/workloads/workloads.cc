@@ -1,0 +1,72 @@
+#include "workloads/workloads.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+
+namespace risc1 {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        makeStrSearch(), makeBitTest(),  makeLinkedList(),
+        makeBitMatrix(), makeAckermann(), makeFibRec(),
+        makeHanoi(),     makeQsort(),    makeSieve(),
+        makePuzzle(),    makePuzzleSubscript(),
+    };
+    return workloads;
+}
+
+const Workload &
+findWorkload(const std::string &id)
+{
+    for (const auto &w : allWorkloads())
+        if (w.id == id)
+            return w;
+    fatal(cat("unknown workload '", id, "'"));
+}
+
+RiscRun
+runRiscWorkload(const Workload &workload, const MachineConfig &config,
+                bool recordCallTrace)
+{
+    const Program prog = assembleRisc(workload.riscSource);
+    Machine machine(config);
+    machine.setRecordCallTrace(recordCallTrace);
+    machine.loadProgram(prog);
+    machine.run();
+
+    RiscRun run;
+    run.stats = machine.stats();
+    run.mem = machine.memory().stats();
+    run.checksum = machine.reg(1);
+    run.codeBytes = prog.codeBytes();
+    if (recordCallTrace)
+        run.callTrace = machine.callTrace();
+    if (run.checksum != workload.expected)
+        fatal(cat("workload '", workload.id, "' RISC checksum ",
+                  run.checksum, " != expected ", workload.expected));
+    return run;
+}
+
+VaxRun
+runVaxWorkload(const Workload &workload, const VaxConfig &config)
+{
+    const Program prog = assembleVax(workload.vaxSource);
+    VaxMachine machine(config);
+    machine.loadProgram(prog);
+    machine.run();
+
+    VaxRun run;
+    run.stats = machine.stats();
+    run.mem = machine.memory().stats();
+    run.checksum = machine.reg(0);
+    run.codeBytes = prog.codeBytes();
+    if (run.checksum != workload.expected)
+        fatal(cat("workload '", workload.id, "' CISC checksum ",
+                  run.checksum, " != expected ", workload.expected));
+    return run;
+}
+
+} // namespace risc1

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The benchmark workload suite: each workload is one algorithm
+ * implemented three times — RISC I assembly, CISC baseline assembly,
+ * and a native C++ reference whose result is the expected checksum.
+ * Integration tests require all three to agree; the benches run the
+ * two simulated versions to regenerate the paper's evaluation tables.
+ *
+ * Conventions: the RISC I program leaves its checksum in global r1;
+ * the baseline program leaves it in r0.  Both end with `halt`.
+ */
+
+#ifndef RISC1_WORKLOADS_WORKLOADS_HH
+#define RISC1_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "memory/memory.hh"
+#include "vax/vmachine.hh"
+
+namespace risc1 {
+
+/** One registered benchmark workload. */
+struct Workload
+{
+    std::string id;           ///< short identifier ("e_strsearch")
+    std::string name;         ///< display name
+    std::string provenance;   ///< where the paper's evaluation uses it
+    bool callIntensive;       ///< procedure-call dominated?
+    std::string riscSource;   ///< RISC I assembly
+    std::string vaxSource;    ///< baseline (CISC) assembly
+    std::uint32_t expected;   ///< reference-implementation checksum
+};
+
+/** All workloads, stable order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one workload by id; throws FatalError when unknown. */
+const Workload &findWorkload(const std::string &id);
+
+/** Result of running a workload on the RISC I machine. */
+struct RiscRun
+{
+    RunStats stats;
+    MemoryStats mem;
+    std::uint32_t checksum = 0;
+    std::uint64_t codeBytes = 0;
+    std::vector<CallEvent> callTrace;
+};
+
+/** Result of running a workload on the baseline machine. */
+struct VaxRun
+{
+    VaxStats stats;
+    MemoryStats mem;
+    std::uint32_t checksum = 0;
+    std::uint64_t codeBytes = 0;
+};
+
+/** Assemble + run a workload on the RISC I machine. */
+RiscRun runRiscWorkload(const Workload &workload,
+                        const MachineConfig &config = MachineConfig{},
+                        bool recordCallTrace = false);
+
+/** Assemble + run a workload on the baseline machine. */
+VaxRun runVaxWorkload(const Workload &workload,
+                      const VaxConfig &config = VaxConfig{});
+
+// Individual workload constructors (one translation unit each group).
+Workload makeStrSearch();   ///< CFA benchmark E: string search
+Workload makeBitTest();     ///< CFA benchmark F: bit manipulation
+Workload makeLinkedList();  ///< CFA benchmark H: linked-list insertion
+Workload makeBitMatrix();   ///< CFA benchmark K: bit-matrix transpose
+Workload makeAckermann();   ///< Ackermann(3,3), call-intensive
+Workload makeFibRec();      ///< recursive Fibonacci(15)
+Workload makeHanoi();       ///< towers of Hanoi(10)
+Workload makeQsort();       ///< recursive quicksort of 64 ints
+Workload makeSieve();       ///< sieve of Eratosthenes to 1000
+Workload makePuzzle();      ///< array permutation, pointer-style
+Workload makePuzzleSubscript(); ///< same kernel, subscript-style
+
+} // namespace risc1
+
+#endif // RISC1_WORKLOADS_WORKLOADS_HH

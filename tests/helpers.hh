@@ -1,0 +1,53 @@
+/** Shared helpers for machine-level tests. */
+
+#ifndef RISC1_TESTS_HELPERS_HH
+#define RISC1_TESTS_HELPERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "core/machine.hh"
+#include "isa/instruction.hh"
+
+namespace risc1::test {
+
+inline constexpr std::uint32_t kOrg = 0x1000;
+
+/** Load raw instructions at kOrg, append a halt, and reset @p m. */
+inline void
+loadRaw(Machine &m, const std::vector<Instruction> &insts,
+        bool appendHalt = true)
+{
+    std::uint32_t addr = kOrg;
+    for (const auto &inst : insts) {
+        m.memory().pokeWord(addr, inst.encode());
+        addr += 4;
+    }
+    if (appendHalt)
+        m.memory().pokeWord(addr, Instruction::jmpr(Cond::Alw, 0).encode());
+    m.reset(kOrg);
+}
+
+/** Assemble @p source, load, and reset @p m. */
+inline void
+loadAsm(Machine &m, const std::string &source)
+{
+    const Program prog = assembleRisc(source);
+    m.loadProgram(prog);
+}
+
+/** Assemble + run to completion on a fresh default machine. */
+inline Machine
+runAsm(const std::string &source, std::uint64_t maxSteps = 10'000'000)
+{
+    Machine m;
+    loadAsm(m, source);
+    m.run(maxSteps);
+    return m;
+}
+
+} // namespace risc1::test
+
+#endif // RISC1_TESTS_HELPERS_HH

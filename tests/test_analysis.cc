@@ -1,0 +1,205 @@
+/** Tests for the analysis library (windows, code size, delay slots). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/codesize.hh"
+#include "analysis/delay_slots.hh"
+#include "analysis/window_analyzer.hh"
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "helpers.hh"
+#include "vax/vassembler.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+std::vector<CallEvent>
+events(const std::string &pattern)
+{
+    std::vector<CallEvent> trace;
+    for (const char c : pattern)
+        trace.push_back(c == 'c' ? CallEvent::Call : CallEvent::Return);
+    return trace;
+}
+
+TEST(WindowAnalyzer, ShallowTraceNeverOverflows)
+{
+    const auto a = analyzeWindows(events("crcrcrcr"), 8);
+    EXPECT_EQ(a.calls, 4u);
+    EXPECT_EQ(a.returns, 4u);
+    EXPECT_EQ(a.overflows, 0u);
+    EXPECT_EQ(a.underflows, 0u);
+    EXPECT_EQ(a.maxDepth, 1);
+}
+
+TEST(WindowAnalyzer, DeepDiveOverflowsOncePerExtraFrame)
+{
+    // Depth 10 against 8 windows (capacity 7): frames 8, 9, 10 spill.
+    const std::string dive(10, 'c');
+    const auto a = analyzeWindows(events(dive + std::string(10, 'r')), 8);
+    EXPECT_EQ(a.overflows, 4u);  // resident hits capacity at depth 6
+    EXPECT_EQ(a.underflows, a.overflows);
+    EXPECT_EQ(a.maxDepth, 10);
+}
+
+TEST(WindowAnalyzer, ShallowOscillationAfterSpillIsFree)
+{
+    // After one spill, a call/return oscillation of amplitude 1 reuses
+    // the freed window: no further traps (the design's hysteresis).
+    std::string pat(8, 'c'); // depth 8 vs capacity 7: 2 overflows
+    for (int i = 0; i < 5; ++i)
+        pat += "cr";
+    const auto a = analyzeWindows(events(pat + std::string(8, 'r')), 8);
+    EXPECT_EQ(a.overflows, 3u); // 2 from the dive + 1 for the first cr
+    EXPECT_EQ(a.underflows, 3u);
+}
+
+TEST(WindowAnalyzer, WideOscillationThrashes)
+{
+    // When the depth excursion exceeds the file capacity, every cycle
+    // of the oscillation takes both an overflow and an underflow.
+    std::string pat(3, 'c'); // capacity 2 (3 windows): dive traps twice
+    for (int i = 0; i < 6; ++i)
+        pat += "rrcc";
+    const auto a = analyzeWindows(events(pat + std::string(3, 'r')), 3);
+    EXPECT_GE(a.overflows, 6u);
+    EXPECT_GE(a.underflows, 6u);
+}
+
+TEST(WindowAnalyzer, MoreWindowsNeverMoreOverflows)
+{
+    Machine m;
+    m.setRecordCallTrace(true);
+    test::loadAsm(m, R"(
+start:  ldi   r10, 12
+        call  fib
+        nop
+        halt
+fib:    cmp   r26, 2
+        bge   rec
+        nop
+        ret
+        nop
+rec:    sub   r10, r26, 1
+        call  fib
+        nop
+        mov   r16, r10
+        sub   r10, r26, 2
+        call  fib
+        nop
+        add   r26, r16, r10
+        ret
+        nop
+)");
+    m.run();
+    std::uint64_t last = ~0ull;
+    for (unsigned w = 2; w <= 16; ++w) {
+        const auto a = analyzeWindows(m.callTrace(), w);
+        EXPECT_LE(a.overflows, last) << "windows=" << w;
+        last = a.overflows;
+        EXPECT_EQ(a.overflows, a.underflows);
+    }
+}
+
+TEST(WindowAnalyzer, AgreesWithMachineForEveryWindowCount)
+{
+    // The analytic replay must reproduce the machine's own trap
+    // counts exactly, for every workload and window count.
+    for (const auto &w : allWorkloads()) {
+        if (!w.callIntensive)
+            continue;
+        const RiscRun base = runRiscWorkload(w, MachineConfig{}, true);
+        for (const unsigned windows : {2u, 3u, 5u, 8u}) {
+            MachineConfig cfg;
+            cfg.windows.numWindows = windows;
+            const RiscRun run = runRiscWorkload(w, cfg);
+            const auto a = analyzeWindows(base.callTrace, windows);
+            EXPECT_EQ(a.overflows, run.stats.windowOverflows)
+                << w.id << " windows=" << windows;
+            EXPECT_EQ(a.underflows, run.stats.windowUnderflows)
+                << w.id << " windows=" << windows;
+        }
+    }
+}
+
+TEST(WindowAnalyzer, UnbalancedTraceRejected)
+{
+    EXPECT_THROW(analyzeWindows(events("r"), 8), FatalError);
+    EXPECT_THROW(analyzeWindows(events("crr"), 8), FatalError);
+    EXPECT_THROW(analyzeWindows(events("c"), 1), FatalError);
+}
+
+TEST(CallProfile, DepthHistogram)
+{
+    const auto p = profileCalls(events("ccrcrr" "cr"));
+    EXPECT_EQ(p.calls, 4u);
+    EXPECT_EQ(p.maxDepth, 2);
+    EXPECT_EQ(p.depthHistogram[1], 2u);
+    EXPECT_EQ(p.depthHistogram[2], 2u);
+    EXPECT_DOUBLE_EQ(p.meanDepth, 1.5);
+}
+
+TEST(CodeSize, RiscCodeIsBiggerButBounded)
+{
+    // The paper's claim: RISC code is larger than VAX code but less
+    // than ~2x for ordinary programs.
+    for (const auto &w : allWorkloads()) {
+        const CodeSize size = measureCodeSize(w);
+        EXPECT_GT(size.byteRatio(), 1.0) << w.id;
+        EXPECT_LT(size.byteRatio(), 2.5) << w.id;
+        EXPECT_EQ(size.riscBytes % 4, 0u) << w.id;
+        EXPECT_EQ(size.riscInstructions, size.riscBytes / 4) << w.id;
+    }
+}
+
+TEST(CodeSize, VaxInstructionsAreVariableLength)
+{
+    for (const auto &w : allWorkloads()) {
+        const CodeSize size = measureCodeSize(w);
+        EXPECT_GT(size.vaxMeanInstrBytes(), 1.5) << w.id;
+        EXPECT_LT(size.vaxMeanInstrBytes(), 8.0) << w.id;
+    }
+}
+
+TEST(CodeSize, StaticScanMatchesAssemblerCount)
+{
+    for (const auto &w : allWorkloads()) {
+        const Program vax = assembleVax(w.vaxSource);
+        EXPECT_EQ(vaxStaticInstrCount(vax), vax.staticInstructions)
+            << w.id;
+    }
+}
+
+TEST(DelaySlots, ReorganisedKernelSavesCyclesSameResult)
+{
+    Machine naive, reorg;
+    test::loadAsm(naive, naiveKernelSource());
+    test::loadAsm(reorg, reorganisedKernelSource());
+    naive.run();
+    reorg.run();
+
+    EXPECT_EQ(naive.reg(1), reorg.reg(1)); // identical checksums
+    EXPECT_LT(reorg.stats().cycles, naive.stats().cycles);
+
+    const auto dsNaive = delaySlotStats(naive.stats());
+    const auto dsReorg = delaySlotStats(reorg.stats());
+    EXPECT_LT(dsNaive.usefulFraction(), 0.1);
+    EXPECT_GT(dsReorg.usefulFraction(), 0.9);
+}
+
+TEST(DelaySlots, WorkloadSuiteFillsManySlots)
+{
+    // The hand-scheduled workloads fill a visible share of slots.
+    std::uint64_t slots = 0, nops = 0;
+    for (const auto &w : allWorkloads()) {
+        const RiscRun run = runRiscWorkload(w);
+        slots += run.stats.delaySlotsExecuted;
+        nops += run.stats.delaySlotNops;
+    }
+    EXPECT_GT(slots, 0u);
+    EXPECT_LT(nops, slots); // at least some useful slots
+}
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,180 @@
+/** Edge-case tests for both assemblers' directives and layouts. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "helpers.hh"
+#include "vax/vassembler.hh"
+#include "vax/vmachine.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(AsmEdges, MultipleOrgSegments)
+{
+    const Program prog = assembleRisc(R"(
+        .org 0x1000
+start:  bra   over
+        nop
+        halt
+        .org 0x3000
+over:   ldi   r1, 7
+        jmpr  alw, back
+        nop
+        .org 0x1100
+back:   halt
+)");
+    // jmpr across segments: 0x3000-region to 0x1100.
+    Machine m;
+    m.loadProgram(prog);
+    m.run();
+    EXPECT_EQ(m.reg(1), 7u);
+    EXPECT_GE(prog.segments.size(), 3u);
+}
+
+TEST(AsmEdges, DotExpressionInDirectives)
+{
+    const Program prog = assembleRisc(R"(
+start:  halt
+here:   .word . , . + 4
+)");
+    Machine m;
+    m.loadProgram(prog);
+    const std::uint32_t here = prog.symbol("here");
+    EXPECT_EQ(m.memory().peekWord(here), here);
+    EXPECT_EQ(m.memory().peekWord(here + 4), here + 4);
+}
+
+TEST(AsmEdges, EquChains)
+{
+    const Program prog = assembleRisc(R"(
+        .equ a, 10
+        .equ b, a + 5
+        .equ c, b + a
+start:  ldi   r1, c
+        halt
+)");
+    Machine m;
+    m.loadProgram(prog);
+    m.run();
+    EXPECT_EQ(m.reg(1), 25u);
+}
+
+TEST(AsmEdges, AlignFromOddAddress)
+{
+    const Program prog = assembleRisc(R"(
+start:  halt
+bytes:  .byte 1
+        .align 8
+aligned: .word 42
+)");
+    EXPECT_EQ(prog.symbol("aligned") % 8, 0u);
+}
+
+TEST(AsmEdges, MaxWidthImmediates)
+{
+    Machine m;
+    test::loadAsm(m, R"(
+start:  add   r1, r0, 4095    ; largest positive simm13
+        add   r2, r0, -4096   ; most negative
+        ldhi  r3, 0x3ffff     ; large positive imm19
+        halt
+)");
+    m.run();
+    EXPECT_EQ(m.reg(1), 4095u);
+    EXPECT_EQ(m.reg(2), static_cast<std::uint32_t>(-4096));
+    EXPECT_EQ(m.reg(3), 0x3ffffu << 13);
+}
+
+TEST(AsmEdges, JmprRangeLimits)
+{
+    // A branch further than +-256 KiB must be rejected cleanly.
+    EXPECT_THROW(assembleRisc(R"(
+start:  bra   far
+        nop
+        .org 0x100000
+far:    halt
+)"),
+                 FatalError);
+}
+
+TEST(AsmEdges, NegativeOrgRejected)
+{
+    EXPECT_THROW(assembleRisc(".org 0 - 4\nstart: halt\n"),
+                 FatalError);
+    EXPECT_THROW(assembleRisc(".org 2\nstart: halt\n"), FatalError);
+}
+
+TEST(AsmEdges, ExpressionsInOperands)
+{
+    Machine m;
+    test::loadAsm(m, R"(
+        .equ  base, 0x2000
+start:  ldi   r2, base
+        ldi   r3, 99
+        stl   r3, base + 8 - base(r2)  ; displacement 8
+        ldl   r1, 8(r2)
+        halt
+)");
+    m.run();
+    EXPECT_EQ(m.reg(1), 99u);
+}
+
+TEST(AsmEdges, VaxStringAndBytesLayout)
+{
+    const Program prog = assembleVax(R"(
+start:  halt
+msg:    .ascii "AB", "CD"
+term:   .asciz "!"
+nums:   .byte 1, 2, 255
+)");
+    VaxMachine vm;
+    vm.loadProgram(prog);
+    const std::uint32_t msg = prog.symbol("msg");
+    EXPECT_EQ(vm.memory().peekByte(msg + 0), 'A');
+    EXPECT_EQ(vm.memory().peekByte(msg + 3), 'D');
+    EXPECT_EQ(vm.memory().peekByte(prog.symbol("term") + 1), 0);
+    EXPECT_EQ(vm.memory().peekByte(prog.symbol("nums") + 2), 255);
+}
+
+TEST(AsmEdges, VaxShortLiteralBoundary)
+{
+    // 63 fits the 1-byte short-literal form; 64 needs an immediate.
+    const Program p63 = assembleVax("start: movl #63, r0\n");
+    const Program p64 = assembleVax("start: movl #64, r0\n");
+    // The 1-byte short literal becomes a 5-byte immediate: +4 bytes.
+    EXPECT_EQ(p63.codeBytes() + 4, p64.codeBytes());
+    VaxMachine m;
+    m.loadProgram(assembleVax("start: movl #63, r0\n movl #64, r1\n"
+                              " halt\n"));
+    m.run();
+    EXPECT_EQ(m.reg(0), 63u);
+    EXPECT_EQ(m.reg(1), 64u);
+}
+
+TEST(AsmEdges, RiscEntryFallsBackToFirstCode)
+{
+    const Program prog = assembleRisc(R"(
+main_loop:  halt
+)");
+    EXPECT_EQ(prog.entry, 0x1000u);
+}
+
+TEST(AsmEdges, CaseInsensitiveConditionsAndRegisters)
+{
+    Machine m;
+    test::loadAsm(m, R"(
+start:  LDI   R1, 5
+        CMP   R1, 5
+        BEQ   ok
+        NOP
+        CLR   R1
+ok:     HALT
+)");
+    m.run();
+    EXPECT_EQ(m.reg(1), 5u);
+}
+
+} // namespace
+} // namespace risc1

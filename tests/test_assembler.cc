@@ -1,0 +1,293 @@
+/** Assembler unit tests: syntax, directives, pseudo-ops, errors. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "helpers.hh"
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+
+namespace risc1 {
+namespace {
+
+/** First code word of an assembled single-instruction program. */
+Instruction
+firstInst(const std::string &body)
+{
+    const Program prog = assembleRisc("start: " + body + "\n");
+    for (const auto &seg : prog.segments)
+        if (seg.kind == SegmentKind::Code) {
+            std::uint32_t w = 0;
+            for (int i = 3; i >= 0; --i)
+                w = (w << 8) | seg.bytes[static_cast<std::size_t>(i)];
+            return Instruction::decode(w);
+        }
+    fatal("no code segment");
+}
+
+TEST(Assembler, BasicAluEncoding)
+{
+    const Instruction inst = firstInst("add r1, r2, r3");
+    EXPECT_EQ(inst.op, Opcode::Add);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs1, 2);
+    EXPECT_EQ(inst.rs2, 3);
+    EXPECT_FALSE(inst.imm);
+    EXPECT_FALSE(inst.scc);
+}
+
+TEST(Assembler, SccSuffix)
+{
+    EXPECT_TRUE(firstInst("adds r1, r2, r3").scc);
+    EXPECT_TRUE(firstInst("subs r0, r1, r2").scc);
+    EXPECT_FALSE(firstInst("sub r0, r1, r2").scc);
+    // ldss is a load, not "lds" + scc suffix.
+    EXPECT_EQ(firstInst("ldss r1, 0(r2)").op, Opcode::Ldss);
+}
+
+TEST(Assembler, ImmediateOperand)
+{
+    const Instruction inst = firstInst("add r1, r2, -42");
+    EXPECT_TRUE(inst.imm);
+    EXPECT_EQ(inst.simm13, -42);
+}
+
+TEST(Assembler, NumberBases)
+{
+    EXPECT_EQ(firstInst("add r1, r0, 0x7f").simm13, 0x7f);
+    EXPECT_EQ(firstInst("add r1, r0, 0b101").simm13, 5);
+    EXPECT_EQ(firstInst("add r1, r0, 'A'").simm13, 65);
+}
+
+TEST(Assembler, MemOperandForms)
+{
+    const Instruction a = firstInst("ldl r1, 8(r2)");
+    EXPECT_EQ(a.rs1, 2);
+    EXPECT_EQ(a.simm13, 8);
+    const Instruction b = firstInst("ldl r1, (r2)");
+    EXPECT_EQ(b.rs1, 2);
+    EXPECT_EQ(b.simm13, 0);
+    const Instruction c = firstInst("ldl r1, r2, r3");
+    EXPECT_EQ(c.rs1, 2);
+    EXPECT_FALSE(c.imm);
+    EXPECT_EQ(c.rs2, 3);
+    const Instruction d = firstInst("ldl r1, 0x100");
+    EXPECT_EQ(d.rs1, 0);
+    EXPECT_EQ(d.simm13, 0x100);
+}
+
+TEST(Assembler, StoreOperands)
+{
+    const Instruction inst = firstInst("stl r7, 12(r3)");
+    EXPECT_EQ(inst.op, Opcode::Stl);
+    EXPECT_EQ(inst.rd, 7);  // data register travels in rd
+    EXPECT_EQ(inst.rs1, 3);
+    EXPECT_EQ(inst.simm13, 12);
+}
+
+TEST(Assembler, JumpConditionParsing)
+{
+    const Instruction inst = firstInst("jmp gtu, 4(r9)");
+    EXPECT_EQ(inst.op, Opcode::Jmp);
+    EXPECT_EQ(inst.cond(), Cond::Gtu);
+    EXPECT_EQ(inst.rs1, 9);
+}
+
+TEST(Assembler, RelativeBranchesComputeOffsets)
+{
+    const Program prog = assembleRisc(R"(
+start:  nop
+        beq  start
+        nop
+        halt
+)");
+    // beq is at 0x1004; offset to start = -4.
+    Machine m;
+    m.loadProgram(prog);
+    const Instruction inst =
+        Instruction::decode(m.memory().peekWord(0x1004));
+    EXPECT_EQ(inst.op, Opcode::Jmpr);
+    EXPECT_EQ(inst.cond(), Cond::Eq);
+    EXPECT_EQ(inst.imm19, -4);
+}
+
+TEST(Assembler, LdiSmallUsesOneWord)
+{
+    const Program prog = assembleRisc("start: ldi r1, 100\n halt\n");
+    EXPECT_EQ(prog.codeBytes(), 8u);
+}
+
+TEST(Assembler, LdiLargeUsesLdhiPair)
+{
+    const Program prog = assembleRisc("start: ldi r1, 0x12345678\n");
+    EXPECT_EQ(prog.codeBytes(), 8u); // two instructions, no halt
+    Machine m;
+    m.loadProgram(prog);
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(1), 0x12345678u);
+}
+
+TEST(Assembler, LdiNegativeLargeRoundTrips)
+{
+    for (const std::int64_t v :
+         {-1ll, -100000ll, 0x7fffffffll, -0x80000000ll, 0xabcdll << 12}) {
+        Machine m;
+        test::loadAsm(m, "start: ldi r1, " + std::to_string(v) +
+                             "\n halt\n");
+        m.run();
+        EXPECT_EQ(m.reg(1), static_cast<std::uint32_t>(v)) << v;
+    }
+}
+
+TEST(Assembler, ForwardLdiOfLabelUsesTwoWords)
+{
+    const Program prog = assembleRisc(R"(
+start:  ldi r1, buffer
+        halt
+buffer: .word 1
+)");
+    // Forward reference: worst-case two words reserved.
+    EXPECT_EQ(prog.codeBytes(), 12u);
+    Machine m;
+    m.loadProgram(prog);
+    m.run();
+    EXPECT_EQ(m.reg(1), prog.symbol("buffer"));
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program prog = assembleRisc(R"(
+start:  halt
+words:  .word 1, 2, 0xffffffff - 0
+halves: .half 10, 20
+bytes:  .byte 1, 2, 3
+        .align 4
+after:  .word 99
+str:    .asciz "hi"
+)");
+    Machine m;
+    m.loadProgram(prog);
+    const std::uint32_t w = prog.symbol("words");
+    EXPECT_EQ(m.memory().peekWord(w), 1u);
+    EXPECT_EQ(m.memory().peekWord(w + 4), 2u);
+    EXPECT_EQ(m.memory().peekWord(w + 8), 0xffffffffu);
+    const std::uint32_t h = prog.symbol("halves");
+    EXPECT_EQ(m.memory().peekByte(h), 10);
+    EXPECT_EQ(m.memory().peekByte(h + 2), 20);
+    EXPECT_EQ(prog.symbol("after") % 4, 0u);
+    EXPECT_EQ(m.memory().peekWord(prog.symbol("after")), 99u);
+    const std::uint32_t s = prog.symbol("str");
+    EXPECT_EQ(m.memory().peekByte(s), 'h');
+    EXPECT_EQ(m.memory().peekByte(s + 1), 'i');
+    EXPECT_EQ(m.memory().peekByte(s + 2), 0);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    const Program prog = assembleRisc(R"(
+        .equ  base, 0x2000
+        .equ  offset, base + 16
+start:  ldi   r1, offset - 8
+        halt
+)");
+    Machine m;
+    m.loadProgram(prog);
+    m.run();
+    EXPECT_EQ(m.reg(1), 0x2008u);
+}
+
+TEST(Assembler, OrgPlacesCode)
+{
+    const Program prog = assembleRisc(R"(
+        .org 0x4000
+start:  halt
+)");
+    EXPECT_EQ(prog.entry, 0x4000u);
+    ASSERT_FALSE(prog.segments.empty());
+    EXPECT_EQ(prog.segments[0].base, 0x4000u);
+}
+
+TEST(Assembler, EntryDirectiveOverridesStart)
+{
+    const Program prog = assembleRisc(R"(
+        .entry other
+start:  nop
+other:  halt
+)");
+    EXPECT_EQ(prog.entry, prog.symbol("other"));
+}
+
+TEST(Assembler, SpaceReservesZeroedBytes)
+{
+    const Program prog = assembleRisc(R"(
+start:  halt
+buf:    .space 64
+end:    .word 1
+)");
+    EXPECT_EQ(prog.symbol("end") - prog.symbol("buf"), 64u);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    EXPECT_TRUE(isNop(firstInst("nop")));
+    EXPECT_EQ(firstInst("clr r5").rd, 5);
+    EXPECT_EQ(firstInst("inc r5").simm13, 1);
+    EXPECT_EQ(firstInst("dec r5, 3").simm13, 3);
+    EXPECT_EQ(firstInst("not r1, r2").op, Opcode::Xor);
+    EXPECT_EQ(firstInst("neg r1, r2").op, Opcode::Subr);
+    const Instruction cmp = firstInst("cmp r1, r2");
+    EXPECT_EQ(cmp.op, Opcode::Sub);
+    EXPECT_TRUE(cmp.scc);
+    EXPECT_EQ(cmp.rd, 0);
+    const Instruction ret = firstInst("ret");
+    EXPECT_EQ(ret.op, Opcode::Ret);
+    EXPECT_EQ(ret.rs1, 31);
+    EXPECT_EQ(ret.simm13, 8);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assembleRisc("start: nop\n bogus r1, r2\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Assembler, CommonErrorsRejected)
+{
+    EXPECT_THROW(assembleRisc("start: add r1, r2\n"), FatalError);
+    EXPECT_THROW(assembleRisc("start: add r1, r2, r3, r4\n"),
+                 FatalError);
+    EXPECT_THROW(assembleRisc("start: add r1, r2, 5000\n"), FatalError);
+    EXPECT_THROW(assembleRisc("start: jmp zz, 0(r1)\n"), FatalError);
+    EXPECT_THROW(assembleRisc("start: beq nowhere\n"), FatalError);
+    EXPECT_THROW(assembleRisc("a: nop\na: nop\n"), FatalError);
+    EXPECT_THROW(assembleRisc("r5: nop\n"), FatalError);
+    EXPECT_THROW(assembleRisc(""), FatalError); // no code at all
+    EXPECT_THROW(assembleRisc("start: add r32, r0, r0\n"), FatalError);
+}
+
+TEST(Assembler, LabelOnOwnLine)
+{
+    const Program prog = assembleRisc(R"(
+start:
+loop:
+        nop
+        halt
+)");
+    EXPECT_EQ(prog.symbol("start"), prog.symbol("loop"));
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics)
+{
+    EXPECT_EQ(firstInst("ADD r1, R2, r3").op, Opcode::Add);
+    EXPECT_EQ(firstInst("Halt").op, Opcode::Jmpr);
+}
+
+} // namespace
+} // namespace risc1

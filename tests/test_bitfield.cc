@@ -1,0 +1,86 @@
+/** Unit tests for common/bitfield.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(Bitfield, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffff, 31, 0), 0xffffffffu);
+}
+
+TEST(Bitfield, ExtractSingleBit)
+{
+    EXPECT_EQ(bits(0x80000000, 31, 31), 1u);
+    EXPECT_EQ(bits(0x7fffffff, 31, 31), 0u);
+    EXPECT_EQ(bits(0x00000001, 0, 0), 1u);
+}
+
+TEST(Bitfield, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 31, 28, 0xd), 0xd0000000u);
+    EXPECT_EQ(insertBits(0xffffffff, 7, 4, 0), 0xffffff0fu);
+    EXPECT_EQ(insertBits(0, 12, 0, 0x1fff), 0x1fffu);
+}
+
+TEST(Bitfield, InsertMasksField)
+{
+    // Field wider than the slot is truncated, not smeared.
+    EXPECT_EQ(insertBits(0, 3, 0, 0xff), 0xfu);
+}
+
+TEST(Bitfield, InsertExtractRoundTrip)
+{
+    for (unsigned first = 0; first < 28; first += 3) {
+        const unsigned last = first + 4;
+        const std::uint32_t v = insertBits(0xaaaaaaaa, last, first, 0x15);
+        EXPECT_EQ(bits(v, last, first), 0x15u);
+    }
+}
+
+TEST(Bitfield, SextPositive)
+{
+    EXPECT_EQ(sext(0x0fff, 13), 0x0fff);
+    EXPECT_EQ(sext(0, 13), 0);
+    EXPECT_EQ(sext(1, 1), -1);
+}
+
+TEST(Bitfield, SextNegative)
+{
+    EXPECT_EQ(sext(0x1fff, 13), -1);
+    EXPECT_EQ(sext(0x1000, 13), -4096);
+    EXPECT_EQ(sext(0x7ffff, 19), -1);
+    EXPECT_EQ(sext(0x40000, 19), -262144);
+}
+
+TEST(Bitfield, SextIgnoresHighBits)
+{
+    EXPECT_EQ(sext(0xffffe001, 13), 1);
+}
+
+TEST(Bitfield, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(4095, 13));
+    EXPECT_TRUE(fitsSigned(-4096, 13));
+    EXPECT_FALSE(fitsSigned(4096, 13));
+    EXPECT_FALSE(fitsSigned(-4097, 13));
+    EXPECT_TRUE(fitsSigned(262143, 19));
+    EXPECT_FALSE(fitsSigned(262144, 19));
+}
+
+TEST(Bitfield, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(0, 13));
+    EXPECT_TRUE(fitsUnsigned(8191, 13));
+    EXPECT_FALSE(fitsUnsigned(8192, 13));
+    EXPECT_FALSE(fitsUnsigned(-1, 13));
+}
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,204 @@
+/** Tests for the cache model and its machine integration. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "helpers.hh"
+#include "memory/cache.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel cache(CacheConfig{64, 16, 4});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x100c)); // same 16-byte line
+    EXPECT_FALSE(cache.access(0x1010)); // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    // 64B / 16B lines = 4 lines; addresses 64 apart collide.
+    CacheModel cache(CacheConfig{64, 16, 4});
+    EXPECT_FALSE(cache.access(0x0));
+    EXPECT_FALSE(cache.access(0x40));  // evicts line 0
+    EXPECT_FALSE(cache.access(0x0));   // miss again
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(Cache, LoopFitsEntirely)
+{
+    CacheModel cache(CacheConfig{256, 16, 4});
+    // A 16-word (64-byte) loop touched 100 times.
+    for (int iter = 0; iter < 100; ++iter)
+        for (std::uint32_t pc = 0x1000; pc < 0x1040; pc += 4)
+            cache.access(pc);
+    // Only the first pass misses (4 lines).
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_GT(cache.stats().hitRate(), 0.99);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    EXPECT_THROW(CacheModel(CacheConfig{100, 16, 4}), FatalError);
+    EXPECT_THROW(CacheModel(CacheConfig{64, 3, 4}), FatalError);
+    EXPECT_THROW(CacheModel(CacheConfig{8, 16, 4}), FatalError);
+}
+
+TEST(Cache, ResetInvalidates)
+{
+    CacheModel cache;
+    cache.access(0x1000);
+    cache.reset();
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MachineIcache, DisabledByDefault)
+{
+    Machine m;
+    test::loadAsm(m, "start: ldi r1, 5\n halt\n");
+    m.run();
+    EXPECT_EQ(m.icacheStats().accesses(), 0u);
+}
+
+TEST(MachineIcache, LoopsHitAfterWarmup)
+{
+    MachineConfig cfg;
+    cfg.icache = CacheConfig{1024, 16, 4};
+    Machine m(cfg);
+    test::loadAsm(m, R"(
+start:  clr   r1
+        ldi   r2, 500
+loop:   add   r1, r1, r2
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt
+)");
+    m.run();
+    EXPECT_GT(m.icacheStats().hitRate(), 0.99);
+    EXPECT_EQ(m.icacheStats().accesses(), m.stats().instructions);
+}
+
+TEST(MachineIcache, MissPenaltyChargedToCycles)
+{
+    const std::string src = "start: clr r1\n ldi r2, 100\n"
+                            "loop: inc r1\n cmp r1, r2\n bne loop\n"
+                            " nop\n halt\n";
+    Machine plain;
+    test::loadAsm(plain, src);
+    plain.run();
+
+    MachineConfig cfg;
+    cfg.icache = CacheConfig{64, 16, 10};
+    Machine cached(cfg);
+    test::loadAsm(cached, src);
+    cached.run();
+
+    EXPECT_EQ(plain.reg(1), cached.reg(1));
+    EXPECT_EQ(plain.stats().instructions, cached.stats().instructions);
+    EXPECT_EQ(cached.stats().cycles,
+              plain.stats().cycles +
+                  cached.icacheStats().misses * 10);
+}
+
+TEST(MachineIcache, ResultsUnchangedAcrossCacheSizes)
+{
+    for (const std::uint32_t size : {64u, 256u, 4096u}) {
+        MachineConfig cfg;
+        cfg.icache = CacheConfig{size, 16, 6};
+        const RiscRun run =
+            runRiscWorkload(findWorkload("sieve"), cfg);
+        EXPECT_EQ(run.checksum, findWorkload("sieve").expected)
+            << size;
+    }
+}
+
+TEST(MachineIcache, LargeCacheBeatsTinyCache)
+{
+    // (Direct-mapped caches are not strictly monotone in size, so
+    // compare only the extremes, where the gap is unambiguous.)
+    auto missesWith = [](std::uint32_t size) {
+        MachineConfig cfg;
+        cfg.icache = CacheConfig{size, 16, 6};
+        Machine m(cfg);
+        test::loadAsm(m, findWorkload("fib_rec").riscSource);
+        m.run();
+        return m.icacheStats().misses;
+    };
+    EXPECT_LT(missesWith(4096), missesWith(64));
+}
+
+TEST(MachineDcache, ExactPenaltyContract)
+{
+    const std::string src = R"(
+start:  ldi   r2, 0x4000
+        ldi   r3, 32
+loop:   ldl   r4, (r2)
+        stl   r4, 0x210(r2)
+        add   r2, r2, 4
+        dec   r3
+        cmp   r3, 0
+        bne   loop
+        nop
+        halt
+)";
+    Machine plain;
+    test::loadAsm(plain, src);
+    plain.run();
+
+    MachineConfig cfg;
+    cfg.dcache = CacheConfig{128, 16, 7};
+    Machine cached(cfg);
+    test::loadAsm(cached, src);
+    cached.run();
+
+    EXPECT_EQ(cached.dcacheStats().accesses(), 64u); // 32 ld + 32 st
+    EXPECT_EQ(cached.stats().cycles,
+              plain.stats().cycles + cached.dcacheStats().misses * 7);
+    // Sequential word streams in 16-byte lines: 1 miss per 4 words
+    // per stream.
+    EXPECT_EQ(cached.dcacheStats().misses, 16u);
+}
+
+TEST(MachineDcache, SpillTrafficBypassesDcache)
+{
+    MachineConfig cfg;
+    cfg.windows.numWindows = 2;     // recursion spills constantly
+    cfg.dcache = CacheConfig{256, 16, 7};
+    Machine m(cfg);
+    test::loadAsm(m, R"(
+start:  ldi   r10, 12
+        call  sum
+        nop
+        mov   r1, r10
+        halt
+sum:    cmp   r26, 0
+        bne   rec
+        nop
+        clr   r26
+        ret
+        nop
+rec:    sub   r10, r26, 1
+        call  sum
+        nop
+        add   r26, r26, r10
+        ret
+        nop
+)");
+    m.run();
+    EXPECT_GT(m.stats().spillWords, 0u);
+    // No program loads/stores: the dcache saw no traffic.
+    EXPECT_EQ(m.dcacheStats().accesses(), 0u);
+    EXPECT_EQ(m.reg(1), 78u);
+}
+
+} // namespace
+} // namespace risc1

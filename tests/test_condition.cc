@@ -1,0 +1,114 @@
+/** Unit tests for the 16 RISC I jump conditions. */
+
+#include <gtest/gtest.h>
+
+#include "isa/condition.hh"
+
+namespace risc1 {
+namespace {
+
+CondCodes
+ccOf(bool n, bool z, bool v, bool c)
+{
+    CondCodes cc;
+    cc.n = n;
+    cc.z = z;
+    cc.v = v;
+    cc.c = c;
+    return cc;
+}
+
+TEST(Condition, NeverAndAlways)
+{
+    for (int bitsVal = 0; bitsVal < 16; ++bitsVal) {
+        const CondCodes cc = ccOf(bitsVal & 1, bitsVal & 2, bitsVal & 4,
+                                  bitsVal & 8);
+        EXPECT_FALSE(condHolds(Cond::Never, cc));
+        EXPECT_TRUE(condHolds(Cond::Alw, cc));
+    }
+}
+
+TEST(Condition, Equality)
+{
+    EXPECT_TRUE(condHolds(Cond::Eq, ccOf(false, true, false, false)));
+    EXPECT_FALSE(condHolds(Cond::Eq, ccOf(false, false, false, false)));
+    EXPECT_TRUE(condHolds(Cond::Ne, ccOf(false, false, false, false)));
+    EXPECT_FALSE(condHolds(Cond::Ne, ccOf(false, true, false, false)));
+}
+
+TEST(Condition, SignedComparisons)
+{
+    // N != V  => less-than.
+    const CondCodes lt1 = ccOf(true, false, false, false);
+    const CondCodes lt2 = ccOf(false, false, true, false);
+    const CondCodes ge = ccOf(true, false, true, false);
+    EXPECT_TRUE(condHolds(Cond::Lt, lt1));
+    EXPECT_TRUE(condHolds(Cond::Lt, lt2));
+    EXPECT_FALSE(condHolds(Cond::Lt, ge));
+    EXPECT_TRUE(condHolds(Cond::Ge, ge));
+    EXPECT_TRUE(condHolds(Cond::Le, lt1));
+    EXPECT_TRUE(condHolds(Cond::Le, ccOf(false, true, false, false)));
+    EXPECT_TRUE(condHolds(Cond::Gt, ge));
+    EXPECT_FALSE(condHolds(Cond::Gt, ccOf(true, true, true, false)));
+}
+
+TEST(Condition, UnsignedComparisons)
+{
+    const CondCodes borrow = ccOf(false, false, false, true);
+    const CondCodes clean = ccOf(false, false, false, false);
+    const CondCodes zero = ccOf(false, true, false, false);
+    EXPECT_TRUE(condHolds(Cond::Ltu, borrow));
+    EXPECT_FALSE(condHolds(Cond::Ltu, clean));
+    EXPECT_TRUE(condHolds(Cond::Geu, clean));
+    EXPECT_TRUE(condHolds(Cond::Leu, borrow));
+    EXPECT_TRUE(condHolds(Cond::Leu, zero));
+    EXPECT_FALSE(condHolds(Cond::Leu, clean));
+    EXPECT_TRUE(condHolds(Cond::Gtu, clean));
+    EXPECT_FALSE(condHolds(Cond::Gtu, zero));
+}
+
+TEST(Condition, SignAndOverflowTests)
+{
+    EXPECT_TRUE(condHolds(Cond::Mi, ccOf(true, false, false, false)));
+    EXPECT_TRUE(condHolds(Cond::Pl, ccOf(false, false, false, false)));
+    EXPECT_TRUE(condHolds(Cond::Vs, ccOf(false, false, true, false)));
+    EXPECT_TRUE(condHolds(Cond::Vc, ccOf(false, false, false, false)));
+}
+
+TEST(Condition, ComplementaryPairsPartitionAllStates)
+{
+    const std::pair<Cond, Cond> pairs[] = {
+        {Cond::Never, Cond::Alw}, {Cond::Eq, Cond::Ne},
+        {Cond::Lt, Cond::Ge},     {Cond::Le, Cond::Gt},
+        {Cond::Ltu, Cond::Geu},   {Cond::Leu, Cond::Gtu},
+        {Cond::Mi, Cond::Pl},     {Cond::Vs, Cond::Vc},
+    };
+    for (int bitsVal = 0; bitsVal < 16; ++bitsVal) {
+        const CondCodes cc = ccOf(bitsVal & 1, bitsVal & 2, bitsVal & 4,
+                                  bitsVal & 8);
+        for (const auto &[a, b] : pairs)
+            EXPECT_NE(condHolds(a, cc), condHolds(b, cc))
+                << condName(a) << "/" << condName(b) << " state "
+                << bitsVal;
+    }
+}
+
+TEST(Condition, NameRoundTrip)
+{
+    for (int i = 0; i < 16; ++i) {
+        const auto cond = static_cast<Cond>(i);
+        const auto parsed = condFromName(condName(cond));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, cond);
+    }
+}
+
+TEST(Condition, UnknownNameRejected)
+{
+    EXPECT_FALSE(condFromName("zz").has_value());
+    EXPECT_FALSE(condFromName("").has_value());
+    EXPECT_FALSE(condFromName("always").has_value());
+}
+
+} // namespace
+} // namespace risc1

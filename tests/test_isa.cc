@@ -1,0 +1,151 @@
+/** Unit and property tests for instruction encode/decode. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/instruction.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(Isa, ThirtyOneOpcodes)
+{
+    // The paper's headline: exactly 31 instructions.
+    int legal = 0;
+    for (int v = 0; v < 128; ++v)
+        if (opcodeInfo(static_cast<Opcode>(v)))
+            ++legal;
+    EXPECT_EQ(legal, 31);
+    EXPECT_EQ(numOpcodes, 31);
+}
+
+TEST(Isa, MnemonicLookupRoundTrip)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        const OpcodeInfo &info = allOpcodes()[i];
+        const auto op = opcodeFromMnemonic(info.mnemonic);
+        ASSERT_TRUE(op.has_value()) << info.mnemonic;
+        EXPECT_EQ(*op, info.op);
+    }
+    EXPECT_FALSE(opcodeFromMnemonic("bogus").has_value());
+}
+
+TEST(Isa, EncodeDecodeAluRegister)
+{
+    const Instruction inst = Instruction::alu(Opcode::Add, 3, 7, 21, true);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_TRUE(back.scc);
+    EXPECT_EQ(back.rd, 3);
+    EXPECT_EQ(back.rs1, 7);
+    EXPECT_EQ(back.rs2, 21);
+    EXPECT_FALSE(back.imm);
+}
+
+TEST(Isa, EncodeDecodeAluImmediate)
+{
+    for (const std::int32_t imm : {0, 1, -1, 4095, -4096, 1234, -777}) {
+        const Instruction inst =
+            Instruction::aluImm(Opcode::Sub, 15, 2, imm);
+        const Instruction back = Instruction::decode(inst.encode());
+        EXPECT_EQ(back, inst) << "imm=" << imm;
+        EXPECT_EQ(back.simm13, imm);
+    }
+}
+
+TEST(Isa, ImmediateOverflowRejected)
+{
+    const Instruction inst = Instruction::aluImm(Opcode::Add, 1, 1, 4096);
+    EXPECT_THROW(inst.encode(), FatalError);
+    const Instruction inst2 =
+        Instruction::aluImm(Opcode::Add, 1, 1, -4097);
+    EXPECT_THROW(inst2.encode(), FatalError);
+}
+
+TEST(Isa, LongImmediateRange)
+{
+    EXPECT_NO_THROW(Instruction::ldhi(1, 262143).encode());
+    EXPECT_NO_THROW(Instruction::ldhi(1, -262144).encode());
+    EXPECT_THROW(Instruction::ldhi(1, 262144).encode(), FatalError);
+    EXPECT_THROW(Instruction::jmpr(Cond::Alw, 1 << 19).encode(),
+                 FatalError);
+}
+
+TEST(Isa, EncodeDecodeLongFormat)
+{
+    for (const std::int32_t y : {0, 1, -1, 262143, -262144, 99999}) {
+        const Instruction inst = Instruction::callr(31, y);
+        const Instruction back = Instruction::decode(inst.encode());
+        EXPECT_EQ(back.imm19, y);
+        EXPECT_EQ(back.op, Opcode::Callr);
+        EXPECT_EQ(back.rd, 31);
+    }
+}
+
+TEST(Isa, JumpCarriesCondition)
+{
+    const Instruction inst = Instruction::jmp(Cond::Gtu, 5, -8);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back.cond(), Cond::Gtu);
+    EXPECT_EQ(back.rs1, 5);
+    EXPECT_EQ(back.simm13, -8);
+}
+
+TEST(Isa, IllegalOpcodeRejected)
+{
+    // 0x00 and 0x7f are not assigned.
+    EXPECT_FALSE(Instruction::isLegal(0x00000000));
+    EXPECT_FALSE(Instruction::isLegal(0xfe000000));
+    EXPECT_THROW(Instruction::decode(0x00000000), FatalError);
+}
+
+TEST(Isa, NopIsCanonical)
+{
+    EXPECT_TRUE(isNop(Instruction::nop()));
+    EXPECT_FALSE(isNop(Instruction::aluImm(Opcode::Add, 1, 0, 0)));
+    EXPECT_FALSE(isNop(Instruction::aluImm(Opcode::Add, 0, 0, 1)));
+}
+
+/** Property sweep: random legal instructions round-trip exactly. */
+class IsaRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(IsaRoundTrip, RandomInstructionsRoundTrip)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 2000; ++iter) {
+        const OpcodeInfo &info =
+            allOpcodes()[rng.below(numOpcodes)];
+        Instruction inst;
+        inst.op = info.op;
+        inst.scc = info.maySetCc && rng.chance(1, 2);
+        inst.rd = static_cast<std::uint8_t>(rng.below(32));
+        if (info.format == Format::Long) {
+            inst.imm19 =
+                static_cast<std::int32_t>(rng.range(-262144, 262143));
+        } else {
+            inst.rs1 = static_cast<std::uint8_t>(rng.below(32));
+            inst.imm = rng.chance(1, 2);
+            if (inst.imm)
+                inst.simm13 =
+                    static_cast<std::int32_t>(rng.range(-4096, 4095));
+            else
+                inst.rs2 = static_cast<std::uint8_t>(rng.below(32));
+        }
+        const std::uint32_t word = inst.encode();
+        ASSERT_TRUE(Instruction::isLegal(word));
+        const Instruction back = Instruction::decode(word);
+        ASSERT_EQ(back, inst)
+            << "opcode " << info.mnemonic << " word 0x" << std::hex
+            << word;
+        // Re-encoding is stable.
+        ASSERT_EQ(back.encode(), word);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTrip,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu, 7777u));
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,224 @@
+/** ALU semantics tests for the RISC I machine. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "helpers.hh"
+
+namespace risc1 {
+namespace {
+
+using test::loadRaw;
+
+/** Run one ALU op on a fresh machine with r1=a, r2=b; result in r3. */
+std::uint32_t
+aluOp(Opcode op, std::uint32_t a, std::uint32_t b, CondCodes *cc = nullptr)
+{
+    // A tiny memory keeps the thousands of property iterations fast.
+    static MachineConfig cfg = [] {
+        MachineConfig c;
+        c.memorySize = 64 << 10;
+        c.saveAreaTop = 0xf000;
+        c.softAreaTop = 0xe000;
+        return c;
+    }();
+    Machine m(cfg);
+    loadRaw(m, {Instruction::alu(op, 3, 1, 2, true)});
+    m.setReg(1, a);
+    m.setReg(2, b);
+    m.step();
+    if (cc)
+        *cc = m.psw().cc;
+    return m.reg(3);
+}
+
+TEST(MachineAlu, AddBasics)
+{
+    EXPECT_EQ(aluOp(Opcode::Add, 2, 3), 5u);
+    EXPECT_EQ(aluOp(Opcode::Add, 0xffffffff, 1), 0u);
+    EXPECT_EQ(aluOp(Opcode::Add, 0x7fffffff, 1), 0x80000000u);
+}
+
+TEST(MachineAlu, AddFlags)
+{
+    CondCodes cc;
+    aluOp(Opcode::Add, 0xffffffff, 1, &cc);
+    EXPECT_TRUE(cc.c);
+    EXPECT_TRUE(cc.z);
+    EXPECT_FALSE(cc.v);
+
+    aluOp(Opcode::Add, 0x7fffffff, 1, &cc);
+    EXPECT_TRUE(cc.v); // signed overflow
+    EXPECT_TRUE(cc.n);
+    EXPECT_FALSE(cc.c);
+}
+
+TEST(MachineAlu, SubBasics)
+{
+    EXPECT_EQ(aluOp(Opcode::Sub, 5, 3), 2u);
+    EXPECT_EQ(aluOp(Opcode::Sub, 3, 5), 0xfffffffeu);
+}
+
+TEST(MachineAlu, SubFlags)
+{
+    CondCodes cc;
+    aluOp(Opcode::Sub, 3, 5, &cc);
+    EXPECT_TRUE(cc.c); // borrow
+    EXPECT_TRUE(cc.n);
+    aluOp(Opcode::Sub, 5, 5, &cc);
+    EXPECT_TRUE(cc.z);
+    EXPECT_FALSE(cc.c);
+    aluOp(Opcode::Sub, 0x80000000, 1, &cc);
+    EXPECT_TRUE(cc.v); // signed overflow: INT_MIN - 1
+}
+
+TEST(MachineAlu, SubrReversesOperands)
+{
+    EXPECT_EQ(aluOp(Opcode::Subr, 3, 5), 2u);
+    EXPECT_EQ(aluOp(Opcode::Subr, 5, 3), 0xfffffffeu);
+}
+
+TEST(MachineAlu, CarryChainAddc)
+{
+    // 64-bit add of 0x00000001'ffffffff + 1 via add/addc.
+    Machine m;
+    loadRaw(m, {
+        Instruction::alu(Opcode::Add, 5, 1, 3, true),   // low
+        Instruction::alu(Opcode::Addc, 6, 2, 4, true),  // high + carry
+    });
+    m.setReg(1, 0xffffffff); // low a
+    m.setReg(2, 1);          // high a
+    m.setReg(3, 1);          // low b
+    m.setReg(4, 0);          // high b
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(5), 0u);
+    EXPECT_EQ(m.reg(6), 2u);
+}
+
+TEST(MachineAlu, BorrowChainSubc)
+{
+    // 64-bit subtract 0x00000002'00000000 - 1 via sub/subc.
+    Machine m;
+    loadRaw(m, {
+        Instruction::alu(Opcode::Sub, 5, 1, 3, true),
+        Instruction::alu(Opcode::Subc, 6, 2, 4, true),
+    });
+    m.setReg(1, 0);          // low a
+    m.setReg(2, 2);          // high a
+    m.setReg(3, 1);          // low b
+    m.setReg(4, 0);          // high b
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(5), 0xffffffffu);
+    EXPECT_EQ(m.reg(6), 1u);
+}
+
+TEST(MachineAlu, Logic)
+{
+    EXPECT_EQ(aluOp(Opcode::And, 0xff00ff00, 0x0ff00ff0), 0x0f000f00u);
+    EXPECT_EQ(aluOp(Opcode::Or, 0xff00ff00, 0x0ff00ff0), 0xfff0fff0u);
+    EXPECT_EQ(aluOp(Opcode::Xor, 0xff00ff00, 0x0ff00ff0), 0xf0f0f0f0u);
+}
+
+TEST(MachineAlu, LogicFlagsClearCarryOverflow)
+{
+    CondCodes cc;
+    aluOp(Opcode::And, 0x80000000, 0x80000000, &cc);
+    EXPECT_TRUE(cc.n);
+    EXPECT_FALSE(cc.c);
+    EXPECT_FALSE(cc.v);
+    aluOp(Opcode::Xor, 5, 5, &cc);
+    EXPECT_TRUE(cc.z);
+}
+
+TEST(MachineAlu, Shifts)
+{
+    EXPECT_EQ(aluOp(Opcode::Sll, 1, 31), 0x80000000u);
+    EXPECT_EQ(aluOp(Opcode::Srl, 0x80000000, 31), 1u);
+    EXPECT_EQ(aluOp(Opcode::Sra, 0x80000000, 31), 0xffffffffu);
+    EXPECT_EQ(aluOp(Opcode::Sra, 0x40000000, 2), 0x10000000u);
+    // Shift amounts are taken mod 32.
+    EXPECT_EQ(aluOp(Opcode::Sll, 1, 33), 2u);
+}
+
+TEST(MachineAlu, LdhiLoadsUpperBits)
+{
+    Machine m;
+    loadRaw(m, {Instruction::ldhi(4, 0x12345)});
+    m.step();
+    EXPECT_EQ(m.reg(4), 0x12345u << 13);
+}
+
+TEST(MachineAlu, SccOffLeavesFlags)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::alu(Opcode::Sub, 3, 1, 2, true),  // sets Z
+        Instruction::alu(Opcode::Add, 4, 1, 2, false), // must not touch
+    });
+    m.setReg(1, 7);
+    m.setReg(2, 7);
+    m.step();
+    EXPECT_TRUE(m.psw().cc.z);
+    m.step();
+    EXPECT_TRUE(m.psw().cc.z);
+}
+
+TEST(MachineAlu, WritesToR0Discarded)
+{
+    Machine m;
+    loadRaw(m, {Instruction::aluImm(Opcode::Add, 0, 0, 123)});
+    m.step();
+    EXPECT_EQ(m.reg(0), 0u);
+}
+
+TEST(MachineAlu, ImmediateOperandsSignExtend)
+{
+    Machine m;
+    loadRaw(m, {Instruction::aluImm(Opcode::Add, 3, 1, -5)});
+    m.setReg(1, 10);
+    m.step();
+    EXPECT_EQ(m.reg(3), 5u);
+}
+
+/** Property sweep: ALU results match a reference model. */
+class AluReference : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(AluReference, MatchesReferenceSemantics)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 300; ++iter) {
+        const auto a = static_cast<std::uint32_t>(rng.next());
+        const auto b = static_cast<std::uint32_t>(rng.next());
+        EXPECT_EQ(aluOp(Opcode::Add, a, b), a + b);
+        EXPECT_EQ(aluOp(Opcode::Sub, a, b), a - b);
+        EXPECT_EQ(aluOp(Opcode::Subr, a, b), b - a);
+        EXPECT_EQ(aluOp(Opcode::And, a, b), a & b);
+        EXPECT_EQ(aluOp(Opcode::Or, a, b), a | b);
+        EXPECT_EQ(aluOp(Opcode::Xor, a, b), a ^ b);
+        const unsigned sh = b & 31;
+        EXPECT_EQ(aluOp(Opcode::Sll, a, sh), a << sh);
+        EXPECT_EQ(aluOp(Opcode::Srl, a, sh), a >> sh);
+        EXPECT_EQ(aluOp(Opcode::Sra, a, sh),
+                  static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(a) >> sh));
+
+        // Flag semantics: Z/N always, C/V per add/sub definitions.
+        CondCodes cc;
+        const std::uint32_t sum = aluOp(Opcode::Add, a, b, &cc);
+        EXPECT_EQ(cc.z, sum == 0);
+        EXPECT_EQ(cc.n, (sum >> 31) != 0);
+        EXPECT_EQ(cc.c, (static_cast<std::uint64_t>(a) + b) >> 32 != 0);
+        const std::uint32_t diff = aluOp(Opcode::Sub, a, b, &cc);
+        EXPECT_EQ(cc.c, a < b);
+        EXPECT_EQ(cc.z, diff == 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluReference,
+                         ::testing::Values(11u, 222u, 3333u));
+
+} // namespace
+} // namespace risc1

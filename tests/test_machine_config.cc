@@ -1,0 +1,163 @@
+/** Machine configuration and resource-boundary tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "helpers.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(MachineConfig, GoldPresetRuns)
+{
+    MachineConfig cfg;
+    cfg.windows = WindowConfig::gold();
+    Machine m(cfg);
+    EXPECT_EQ(m.config().windows.numWindows, 6u);
+    test::loadAsm(m, "start: ldi r1, 9\n halt\n");
+    m.run();
+    EXPECT_EQ(m.reg(1), 9u);
+}
+
+TEST(MachineConfig, TinyMemoryWorks)
+{
+    MachineConfig cfg;
+    cfg.memorySize = 64 << 10;
+    cfg.saveAreaTop = 0xf000;
+    cfg.softAreaTop = 0xe000;
+    Machine m(cfg);
+    test::loadAsm(m, "start: ldi r1, 1\n halt\n");
+    m.run();
+    EXPECT_EQ(m.reg(1), 1u);
+}
+
+TEST(MachineConfig, BadSaveAreaRejected)
+{
+    MachineConfig cfg;
+    cfg.saveAreaTop = 0x1002; // unaligned
+    EXPECT_THROW(Machine{cfg}, FatalError);
+
+    MachineConfig cfg2;
+    cfg2.memorySize = 64 << 10;
+    cfg2.saveAreaTop = 0x00f00000; // outside memory
+    EXPECT_THROW(Machine{cfg2}, FatalError);
+}
+
+TEST(MachineConfig, SpillStackExhaustionIsAFatalError)
+{
+    // Recursion deep enough to run the register-save stack into the
+    // bottom of memory must fail loudly, not corrupt state.
+    MachineConfig cfg;
+    cfg.memorySize = 64 << 10;
+    cfg.saveAreaTop = 0x1400;  // 1 KiB above the code at 0x1000...
+    cfg.softAreaTop = 0x1400;
+    cfg.windows.numWindows = 2; // every call spills 64 bytes
+    Machine m(cfg);
+    test::loadAsm(m, R"(
+start:  ldi   r10, 100000
+        call  sum
+        nop
+        halt
+sum:    cmp   r26, 0
+        bne   rec
+        nop
+        ret
+        nop
+rec:    sub   r10, r26, 1
+        call  sum
+        nop
+        ret
+        nop
+)");
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(MachineConfig, SoftFrameWordsScaleAblationCost)
+{
+    const std::string src = R"(
+start:  ldi   r2, 20
+loop:   mov   r10, r2
+        call  leaf
+        nop
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt
+leaf:   ret
+        nop
+)";
+    auto cyclesWith = [&](unsigned words) {
+        MachineConfig cfg;
+        cfg.windowedCalls = false;
+        cfg.softFrameWords = words;
+        Machine m(cfg);
+        test::loadAsm(m, src);
+        m.run();
+        return m.stats().cycles;
+    };
+    const auto c4 = cyclesWith(4);
+    const auto c8 = cyclesWith(8);
+    const auto c16 = cyclesWith(16);
+    EXPECT_LT(c4, c8);
+    EXPECT_LT(c8, c16);
+    // Each extra word costs softPerWordCycles (2) on call AND return:
+    // 20 calls * 2 directions * 2 cycles * extra words.
+    EXPECT_EQ(c8 - c4, 20u * 2 * 2 * 4);
+}
+
+TEST(MachineConfig, CustomTimingScalesCycles)
+{
+    MachineConfig slowLoads;
+    slowLoads.timing.loadCycles = 10;
+    Machine slow(slowLoads);
+    Machine normal;
+    const std::string src = R"(
+start:  ldi   r2, 0x2000
+        ldl   r1, (r2)
+        ldl   r3, (r2)
+        halt
+)";
+    test::loadAsm(slow, src);
+    test::loadAsm(normal, src);
+    slow.run();
+    normal.run();
+    EXPECT_EQ(slow.stats().cycles - normal.stats().cycles,
+              2u * (10 - 2));
+}
+
+TEST(MachineConfig, StepAfterHaltIsIdempotent)
+{
+    Machine m;
+    test::loadAsm(m, "start: halt\n");
+    m.run();
+    const auto cycles = m.stats().cycles;
+    EXPECT_FALSE(m.step());
+    EXPECT_FALSE(m.step());
+    EXPECT_EQ(m.stats().cycles, cycles);
+}
+
+TEST(MachineConfig, ResetReplaysIdentically)
+{
+    Machine m;
+    test::loadAsm(m, R"(
+start:  clr   r1
+        ldi   r2, 50
+loop:   add   r1, r1, r2
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt
+)");
+    m.run();
+    const auto first = m.stats().cycles;
+    const auto r1 = m.reg(1);
+    m.reset(0x1000);
+    m.run();
+    EXPECT_EQ(m.stats().cycles, first);
+    EXPECT_EQ(m.reg(1), r1);
+}
+
+} // namespace
+} // namespace risc1

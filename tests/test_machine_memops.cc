@@ -1,0 +1,134 @@
+/** Load/store semantics and timing tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "helpers.hh"
+
+namespace risc1 {
+namespace {
+
+using test::loadRaw;
+
+constexpr std::uint32_t kData = 0x2000;
+
+TEST(MachineMem, WordLoadStore)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::store(Opcode::Stl, 1, 2, 0),
+        Instruction::load(Opcode::Ldl, 3, 2, 0),
+    });
+    m.setReg(1, 0xcafebabe);
+    m.setReg(2, kData);
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(3), 0xcafebabeu);
+    EXPECT_EQ(m.memory().peekWord(kData), 0xcafebabeu);
+}
+
+TEST(MachineMem, LoadWithOffsetAndIndex)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::load(Opcode::Ldl, 3, 2, 8),        // base + imm
+        Instruction::alu(Opcode::Add, 4, 2, 5, false),  // compute base+idx
+        Instruction::load(Opcode::Ldl, 5, 4, 0),
+    });
+    m.memory().pokeWord(kData + 8, 42);
+    m.setReg(2, kData);
+    m.setReg(5, 8);
+    m.step();
+    EXPECT_EQ(m.reg(3), 42u);
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(5), 42u);
+}
+
+TEST(MachineMem, HalfwordSignedness)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::load(Opcode::Ldsu, 3, 2, 0),
+        Instruction::load(Opcode::Ldss, 4, 2, 0),
+    });
+    m.memory().pokeWord(kData, 0x0000ffff);
+    m.setReg(2, kData);
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(3), 0xffffu);
+    EXPECT_EQ(m.reg(4), 0xffffffffu);
+}
+
+TEST(MachineMem, ByteSignedness)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::load(Opcode::Ldbu, 3, 2, 0),
+        Instruction::load(Opcode::Ldbs, 4, 2, 0),
+        Instruction::load(Opcode::Ldbu, 5, 2, 1),
+    });
+    m.memory().pokeWord(kData, 0x00000780 | 0x100); // bytes: 80 07 ...
+    m.setReg(2, kData);
+    m.step();
+    m.step();
+    m.step();
+    EXPECT_EQ(m.reg(3), 0x80u);
+    EXPECT_EQ(m.reg(4), 0xffffff80u);
+    EXPECT_EQ(m.reg(5), 0x07u);
+}
+
+TEST(MachineMem, StoreNarrow)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::store(Opcode::Sts, 1, 2, 0),
+        Instruction::store(Opcode::Stb, 3, 2, 2),
+    });
+    m.setReg(1, 0x1234abcd);
+    m.setReg(3, 0x99);
+    m.setReg(2, kData);
+    m.step();
+    m.step();
+    EXPECT_EQ(m.memory().peekByte(kData), 0xcd);
+    EXPECT_EQ(m.memory().peekByte(kData + 1), 0xab);
+    EXPECT_EQ(m.memory().peekByte(kData + 2), 0x99);
+}
+
+TEST(MachineMem, MisalignedLoadTraps)
+{
+    Machine m;
+    loadRaw(m, {Instruction::load(Opcode::Ldl, 3, 2, 2)});
+    m.setReg(2, kData);
+    EXPECT_THROW(m.step(), FatalError);
+}
+
+TEST(MachineMem, LoadStoreCostTwoCycles)
+{
+    Machine m;
+    loadRaw(m, {
+        Instruction::aluImm(Opcode::Add, 1, 0, 4),     // 1 cycle
+        Instruction::store(Opcode::Stl, 1, 2, 0),      // 2 cycles
+        Instruction::load(Opcode::Ldl, 3, 2, 0),       // 2 cycles
+    });
+    m.setReg(2, kData);
+    m.step();
+    m.step();
+    m.step();
+    EXPECT_EQ(m.stats().cycles, 5u);
+    EXPECT_EQ(m.stats().loadCount, 1u);
+    EXPECT_EQ(m.stats().storeCount, 1u);
+}
+
+TEST(MachineMem, NegativeDisplacement)
+{
+    Machine m;
+    loadRaw(m, {Instruction::load(Opcode::Ldl, 3, 2, -4)});
+    m.memory().pokeWord(kData - 4, 77);
+    m.setReg(2, kData);
+    m.step();
+    EXPECT_EQ(m.reg(3), 77u);
+}
+
+} // namespace
+} // namespace risc1

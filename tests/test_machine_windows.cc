@@ -1,0 +1,255 @@
+/** Register-window overflow/underflow and deep-recursion tests. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+namespace risc1 {
+namespace {
+
+using test::runAsm;
+
+/** Recursive sum 1..n exercises windows at arbitrary depth. */
+std::string
+recSumSource(int n)
+{
+    return R"(
+; r10 = argument, result returned in caller's r10
+start:  ldi   r10, )" + std::to_string(n) + R"(
+        call  sum
+        nop
+        mov   r1, r10         ; checksum into global r1
+        halt
+
+; sum(n): returns n + sum(n-1), 0 for n == 0
+sum:    cmp   r26, 0
+        bne   recurse
+        nop
+        clr   r26             ; base case: return 0
+        ret
+        nop
+recurse:
+        sub   r10, r26, 1     ; arg = n-1
+        call  sum
+        nop
+        add   r26, r26, r10   ; n + sum(n-1)
+        ret
+        nop
+)";
+}
+
+TEST(MachineWindows, ShallowRecursionNoOverflow)
+{
+    // Depth 5 fits in the 8-window file (capacity 7).
+    Machine m;
+    test::loadAsm(m, recSumSource(4));
+    m.run();
+    EXPECT_EQ(m.reg(1), 10u);
+    EXPECT_EQ(m.stats().windowOverflows, 0u);
+    EXPECT_EQ(m.stats().windowUnderflows, 0u);
+}
+
+TEST(MachineWindows, DeepRecursionSpillsAndRefills)
+{
+    Machine m;
+    test::loadAsm(m, recSumSource(100));
+    m.run();
+    EXPECT_EQ(m.reg(1), 5050u);
+    EXPECT_GT(m.stats().windowOverflows, 0u);
+    EXPECT_EQ(m.stats().windowOverflows, m.stats().windowUnderflows);
+    EXPECT_EQ(m.stats().spillWords, m.stats().windowOverflows * 16);
+    EXPECT_EQ(m.stats().maxCallDepth, 101);
+}
+
+TEST(MachineWindows, ResultsCorrectForEveryWindowCount)
+{
+    for (const unsigned windows : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+        MachineConfig cfg;
+        cfg.windows.numWindows = windows;
+        Machine m(cfg);
+        test::loadAsm(m, recSumSource(40));
+        m.run();
+        EXPECT_EQ(m.reg(1), 820u) << "windows=" << windows;
+    }
+}
+
+TEST(MachineWindows, MoreWindowsMeanFewerOverflows)
+{
+    std::uint64_t last = ~0ull;
+    for (const unsigned windows : {2u, 4u, 8u, 16u}) {
+        MachineConfig cfg;
+        cfg.windows.numWindows = windows;
+        Machine m(cfg);
+        test::loadAsm(m, recSumSource(30));
+        m.run();
+        EXPECT_LT(m.stats().windowOverflows, last)
+            << "windows=" << windows;
+        last = m.stats().windowOverflows;
+    }
+}
+
+TEST(MachineWindows, OverflowCostChargedToCycles)
+{
+    MachineConfig small;
+    small.windows.numWindows = 2;
+    Machine spilling(small);
+    test::loadAsm(spilling, recSumSource(20));
+    spilling.run();
+
+    Machine roomy;
+    test::loadAsm(roomy, recSumSource(20));
+    // 8 windows: depth 21 still overflows a little, so compare against
+    // a 32-window file for a strictly trap-free run.
+    MachineConfig big;
+    big.windows.numWindows = 32;
+    Machine trapFree(big);
+    test::loadAsm(trapFree, recSumSource(20));
+    trapFree.run();
+
+    EXPECT_EQ(trapFree.stats().windowOverflows, 0u);
+    EXPECT_GT(spilling.stats().windowOverflows, 0u);
+    EXPECT_GT(spilling.stats().cycles, trapFree.stats().cycles);
+    // Same architectural work: identical instruction counts.
+    EXPECT_EQ(spilling.stats().instructions,
+              trapFree.stats().instructions);
+}
+
+TEST(MachineWindows, SpillTrafficVisibleInMemoryStats)
+{
+    MachineConfig cfg;
+    cfg.windows.numWindows = 2;
+    Machine m(cfg);
+    test::loadAsm(m, recSumSource(10));
+    m.run();
+    const auto &ms = m.memory().stats();
+    // All data traffic in this program is spill/fill traffic.
+    EXPECT_EQ(ms.writes, m.stats().spillWords);
+    EXPECT_EQ(ms.reads, m.stats().fillWords);
+}
+
+TEST(MachineWindows, WindowlessAblationChargesSoftSaves)
+{
+    MachineConfig cfg;
+    cfg.windowedCalls = false;
+    cfg.softFrameWords = 8;
+    Machine m(cfg);
+    test::loadAsm(m, recSumSource(10));
+    m.run();
+    EXPECT_EQ(m.reg(1), 55u); // still correct
+    EXPECT_EQ(m.stats().windowOverflows, 0u);
+    EXPECT_EQ(m.stats().softSaveWords, m.stats().calls * 8);
+    EXPECT_EQ(m.stats().softRestoreWords, m.stats().returns * 8);
+    EXPECT_GT(m.memory().stats().writes, 0u);
+}
+
+/** Typical HLL call pattern: many shallow calls in a loop. */
+std::string
+loopedCallsSource(int iters)
+{
+    return R"(
+start:  ldi   r2, )" + std::to_string(iters) + R"(
+        clr   r1
+loop:   mov   r10, r2
+        call  leafsum        ; depth oscillates 0 -> 3 -> 0
+        nop
+        add   r1, r1, r10
+        dec   r2
+        cmp   r2, 0
+        bne   loop
+        nop
+        halt
+leafsum:
+        mov   r10, r26
+        call  leaf2
+        nop
+        mov   r26, r10
+        ret
+        nop
+leaf2:  mov   r10, r26
+        call  leaf3
+        nop
+        mov   r26, r10
+        ret
+        nop
+leaf3:  add   r26, r26, 1
+        ret
+        nop
+)";
+}
+
+TEST(MachineWindows, AblationCostsMoreThanWindowsOnTypicalCalls)
+{
+    // The paper's claim concerns ordinary programs, whose call depth
+    // oscillates within the window file; monotonically-deepening
+    // recursion past the capacity is the adversarial case where
+    // windows thrash.  Use the typical pattern here.
+    Machine windowed;
+    test::loadAsm(windowed, loopedCallsSource(50));
+    windowed.run();
+
+    MachineConfig cfg;
+    cfg.windowedCalls = false;
+    Machine flat(cfg);
+    test::loadAsm(flat, loopedCallsSource(50));
+    flat.run();
+
+    EXPECT_EQ(windowed.reg(1), flat.reg(1));
+    EXPECT_EQ(windowed.stats().windowOverflows, 0u);
+    EXPECT_GT(flat.stats().cycles, windowed.stats().cycles);
+    EXPECT_GT(flat.stats().dataAccesses(),
+              windowed.stats().dataAccesses());
+    // With windows, calls generate zero data-memory traffic.
+    EXPECT_EQ(windowed.stats().dataAccesses(), 0u);
+}
+
+TEST(MachineWindows, PswTracksCwpAndSwp)
+{
+    Machine m;
+    test::loadAsm(m, recSumSource(3));
+    const unsigned nwin = m.config().windows.numWindows;
+    unsigned maxCwpSeen = 0;
+    m.setTraceHook([&](std::uint32_t, const Instruction &) {
+        maxCwpSeen = std::max(maxCwpSeen, m.regFile().cwp());
+    });
+    m.run();
+    EXPECT_LT(maxCwpSeen, nwin);
+    EXPECT_EQ(m.psw().cwp, m.regFile().cwp());
+}
+
+TEST(MachineWindows, CallTraceMatchesCallsAndReturns)
+{
+    Machine m;
+    m.setRecordCallTrace(true);
+    test::loadAsm(m, recSumSource(6));
+    m.run();
+    std::uint64_t calls = 0, rets = 0;
+    for (const auto ev : m.callTrace())
+        (ev == CallEvent::Call ? calls : rets)++;
+    EXPECT_EQ(calls, m.stats().calls);
+    EXPECT_EQ(rets, m.stats().returns);
+    EXPECT_EQ(calls, 7u);
+}
+
+/** Property sweep: recursion result is window-count invariant. */
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>>
+{};
+
+TEST_P(WindowSweep, RecursiveSumCorrect)
+{
+    const auto [windows, n] = GetParam();
+    MachineConfig cfg;
+    cfg.windows.numWindows = windows;
+    Machine m(cfg);
+    test::loadAsm(m, recSumSource(n));
+    m.run();
+    EXPECT_EQ(m.reg(1), static_cast<std::uint32_t>(n * (n + 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowSweep,
+    ::testing::Combine(::testing::Values(2u, 3u, 5u, 8u),
+                       ::testing::Values(1, 7, 33, 64)));
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,100 @@
+/** Unit tests for the memory subsystem. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "memory/memory.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(Memory, LittleEndianWords)
+{
+    Memory mem(4096);
+    mem.writeWord(0, 0xdeadbeef);
+    EXPECT_EQ(mem.readByte(0), 0xef);
+    EXPECT_EQ(mem.readByte(1), 0xbe);
+    EXPECT_EQ(mem.readByte(2), 0xad);
+    EXPECT_EQ(mem.readByte(3), 0xde);
+    EXPECT_EQ(mem.readWord(0), 0xdeadbeefu);
+}
+
+TEST(Memory, HalfwordAccess)
+{
+    Memory mem(4096);
+    mem.writeHalf(10, 0xabcd);
+    EXPECT_EQ(mem.readHalf(10), 0xabcd);
+    EXPECT_EQ(mem.readByte(10), 0xcd);
+    EXPECT_EQ(mem.readByte(11), 0xab);
+}
+
+TEST(Memory, MisalignedWordRejected)
+{
+    Memory mem(4096);
+    EXPECT_THROW(mem.readWord(2), FatalError);
+    EXPECT_THROW(mem.writeWord(1, 0), FatalError);
+    EXPECT_THROW(mem.readHalf(3), FatalError);
+    EXPECT_THROW(mem.fetchWord(6), FatalError);
+}
+
+TEST(Memory, OutOfRangeRejected)
+{
+    Memory mem(4096);
+    EXPECT_THROW(mem.readWord(4096), FatalError);
+    EXPECT_THROW(mem.readByte(4096), FatalError);
+    EXPECT_THROW(mem.writeWord(4094 + 4, 0), FatalError);
+    EXPECT_NO_THROW(mem.readWord(4092));
+}
+
+TEST(Memory, StatsCountAccesses)
+{
+    Memory mem(4096);
+    mem.writeWord(0, 1);
+    mem.writeByte(8, 2);
+    (void)mem.readWord(0);
+    (void)mem.readHalf(0);
+    (void)mem.fetchWord(4);
+    EXPECT_EQ(mem.stats().writes, 2u);
+    EXPECT_EQ(mem.stats().reads, 2u);
+    EXPECT_EQ(mem.stats().fetches, 1u);
+    EXPECT_EQ(mem.stats().bytesWritten, 5u);
+    EXPECT_EQ(mem.stats().bytesRead, 6u);
+}
+
+TEST(Memory, PeekPokeUncounted)
+{
+    Memory mem(4096);
+    mem.pokeWord(16, 0x12345678);
+    EXPECT_EQ(mem.peekWord(16), 0x12345678u);
+    EXPECT_EQ(mem.peekByte(16), 0x78);
+    EXPECT_EQ(mem.stats().reads, 0u);
+    EXPECT_EQ(mem.stats().writes, 0u);
+}
+
+TEST(Memory, LoaderCopiesBlock)
+{
+    Memory mem(4096);
+    const std::uint8_t blob[] = {1, 2, 3, 4, 5};
+    mem.load(100, blob, sizeof(blob));
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(mem.peekByte(100 + i), blob[i]);
+    EXPECT_THROW(mem.load(4094, blob, sizeof(blob)), FatalError);
+}
+
+TEST(Memory, ClearZeroesEverything)
+{
+    Memory mem(4096);
+    mem.writeWord(0, 99);
+    mem.clear();
+    EXPECT_EQ(mem.peekWord(0), 0u);
+    EXPECT_EQ(mem.stats().writes, 0u);
+}
+
+TEST(Memory, BadSizesRejected)
+{
+    EXPECT_THROW(Memory(0), FatalError);
+    EXPECT_THROW(Memory(1023), FatalError);
+}
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,97 @@
+/**
+ * Property test: the Memory subsystem against a plain byte-array
+ * reference model under random mixed-width traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "memory/memory.hh"
+
+namespace risc1 {
+namespace {
+
+class MemoryModel : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MemoryModel, RandomTrafficMatchesByteArray)
+{
+    constexpr std::size_t size = 64 << 10;
+    Memory mem(size);
+    std::vector<std::uint8_t> model(size, 0);
+    Rng rng(GetParam());
+
+    std::uint64_t expectReads = 0, expectWrites = 0;
+    for (int iter = 0; iter < 5000; ++iter) {
+        const int action = static_cast<int>(rng.below(6));
+        switch (action) {
+          case 0: { // word write
+            const auto addr = static_cast<std::uint32_t>(
+                rng.below(size / 4) * 4);
+            const auto v = static_cast<std::uint32_t>(rng.next());
+            mem.writeWord(addr, v);
+            ++expectWrites;
+            for (int b = 0; b < 4; ++b)
+                model[addr + static_cast<unsigned>(b)] =
+                    static_cast<std::uint8_t>(v >> (8 * b));
+            break;
+          }
+          case 1: { // half write
+            const auto addr = static_cast<std::uint32_t>(
+                rng.below(size / 2) * 2);
+            const auto v = static_cast<std::uint16_t>(rng.next());
+            mem.writeHalf(addr, v);
+            ++expectWrites;
+            model[addr] = static_cast<std::uint8_t>(v);
+            model[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+            break;
+          }
+          case 2: { // byte write
+            const auto addr =
+                static_cast<std::uint32_t>(rng.below(size));
+            const auto v = static_cast<std::uint8_t>(rng.next());
+            mem.writeByte(addr, v);
+            ++expectWrites;
+            model[addr] = v;
+            break;
+          }
+          case 3: { // word read
+            const auto addr = static_cast<std::uint32_t>(
+                rng.below(size / 4) * 4);
+            std::uint32_t expect = 0;
+            for (int b = 3; b >= 0; --b)
+                expect = (expect << 8) |
+                         model[addr + static_cast<unsigned>(b)];
+            ASSERT_EQ(mem.readWord(addr), expect);
+            ++expectReads;
+            break;
+          }
+          case 4: { // half read
+            const auto addr = static_cast<std::uint32_t>(
+                rng.below(size / 2) * 2);
+            const std::uint16_t expect = static_cast<std::uint16_t>(
+                model[addr] | (model[addr + 1] << 8));
+            ASSERT_EQ(mem.readHalf(addr), expect);
+            ++expectReads;
+            break;
+          }
+          default: { // byte read
+            const auto addr =
+                static_cast<std::uint32_t>(rng.below(size));
+            ASSERT_EQ(mem.readByte(addr), model[addr]);
+            ++expectReads;
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(mem.stats().reads, expectReads);
+    EXPECT_EQ(mem.stats().writes, expectWrites);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryModel,
+                         ::testing::Values(1u, 2u, 3u, 77u));
+
+} // namespace
+} // namespace risc1

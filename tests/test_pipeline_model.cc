@@ -1,0 +1,76 @@
+/**
+ * Structural-vs-analytic timing validation: the two-stage pipeline
+ * replay must reproduce the Machine's cycle counts exactly (after
+ * separating the separately-charged trap costs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline_model.hh"
+#include "asm/assembler.hh"
+#include "core/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+/** Cycles the machine charged for window traps in @p stats. */
+std::uint64_t
+trapCycles(const RunStats &stats, const Timing &timing)
+{
+    const std::uint64_t traps =
+        stats.windowOverflows + stats.windowUnderflows;
+    const std::uint64_t words = stats.spillWords + stats.fillWords;
+    return traps * timing.trapOverheadCycles +
+           words * timing.trapPerWordCycles;
+}
+
+TEST(PipelineModel, EmptyTraceIsFree)
+{
+    EXPECT_EQ(simulateTwoStage({}).cycles, 0u);
+}
+
+TEST(PipelineModel, StallsOnlyOnMemoryOps)
+{
+    const std::vector<InstClass> trace = {
+        InstClass::Alu, InstClass::Load, InstClass::Alu,
+        InstClass::Store, InstClass::Jump,
+    };
+    const PipelineResult r = simulateTwoStage(trace);
+    EXPECT_EQ(r.cycles, 7u);       // 5 instructions + 2 stalls
+    EXPECT_EQ(r.fetchStalls, 2u);
+}
+
+class PipelineVsMachine : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PipelineVsMachine, StructuralTimingMatchesAnalytic)
+{
+    const Workload &w = findWorkload(GetParam());
+    Machine m;
+    std::vector<InstClass> trace;
+    m.setTraceHook([&](std::uint32_t, const Instruction &inst) {
+        trace.push_back(opcodeInfo(inst.op)->cls);
+    });
+    m.loadProgram(assembleRisc(w.riscSource));
+    m.run();
+
+    const PipelineResult structural = simulateTwoStage(trace);
+    const std::uint64_t analytic =
+        m.stats().cycles - trapCycles(m.stats(), m.config().timing);
+    EXPECT_EQ(structural.cycles, analytic) << w.id;
+    EXPECT_EQ(structural.fetchStalls,
+              m.stats().loadCount + m.stats().storeCount)
+        << w.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PipelineVsMachine,
+    ::testing::Values("e_strsearch", "f_bittest", "h_linkedlist",
+                      "k_bitmatrix", "ackermann", "fib_rec", "hanoi",
+                      "qsort_rec", "sieve", "puzzle_like",
+                      "puzzle_sub"),
+    [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace risc1

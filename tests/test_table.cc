@@ -1,0 +1,80 @@
+/** Tests for the ASCII table renderer used by the bench harness. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace risc1 {
+namespace {
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Box-drawing rules present.
+    EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(Table, ColumnsSizeToWidestCell)
+{
+    Table t({"x"});
+    t.addRow({"longest-cell-here"});
+    std::ostringstream os;
+    t.print(os);
+    // Every line has the same length.
+    std::istringstream in(os.str());
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(in, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+TEST(Table, ArityMismatchRejected)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, SeparatorRows)
+{
+    Table t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::ostringstream os;
+    t.print(os);
+    // 4 rules: top, under header, separator, bottom.
+    std::size_t rules = 0;
+    std::istringstream in(os.str());
+    std::string line;
+    while (std::getline(in, line))
+        if (line.rfind("+-", 0) == 0)
+            ++rules;
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(std::uint64_t{1234567}), "1,234,567");
+    EXPECT_EQ(Table::num(std::uint64_t{999}), "999");
+    EXPECT_EQ(Table::num(std::uint64_t{0}), "0");
+}
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,95 @@
+/** Tests for the CISC baseline disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+#include "vax/vdisasm.hh"
+
+namespace risc1 {
+namespace {
+
+/** Assemble one statement and return its disassembled text. */
+std::string
+roundTrip(const std::string &stmt)
+{
+    const Program prog = assembleVax("start: " + stmt + "\n");
+    const auto &seg = prog.segments.at(0);
+    return vaxDisassembleAt(seg.bytes, 0, seg.base).text;
+}
+
+TEST(VaxDisasm, RegisterAndLiteralForms)
+{
+    EXPECT_EQ(roundTrip("movl r1, r2"), "movl r1, r2");
+    EXPECT_EQ(roundTrip("movl #5, r0"), "movl #5, r0");
+    EXPECT_EQ(roundTrip("addl3 r1, r2, r3"), "addl3 r1, r2, r3");
+    EXPECT_EQ(roundTrip("clrl r7"), "clrl r7");
+    EXPECT_EQ(roundTrip("halt"), "halt");
+}
+
+TEST(VaxDisasm, SpecialRegisterNames)
+{
+    EXPECT_EQ(roundTrip("movl sp, fp"), "movl sp, fp");
+    EXPECT_EQ(roundTrip("movl 4(ap), r0"), "movl 4(ap), r0");
+}
+
+TEST(VaxDisasm, MemoryModes)
+{
+    EXPECT_EQ(roundTrip("movl (r3), r4"), "movl (r3), r4");
+    EXPECT_EQ(roundTrip("movl (r3)+, r4"), "movl (r3)+, r4");
+    EXPECT_EQ(roundTrip("movl -(sp), r4"), "movl -(sp), r4");
+    EXPECT_EQ(roundTrip("movl -8(r2), r4"), "movl -8(r2), r4");
+}
+
+TEST(VaxDisasm, WideImmediateRendersHex)
+{
+    EXPECT_EQ(roundTrip("movl #100000, r2"), "movl #0x186a0, r2");
+}
+
+TEST(VaxDisasm, BranchTargetsRenderAbsolute)
+{
+    // brb to self: opcode at 0x1000, displacement -2.
+    const Program prog = assembleVax("start: brb start\n");
+    const auto &seg = prog.segments.at(0);
+    EXPECT_EQ(vaxDisassembleAt(seg.bytes, 0, seg.base).text,
+              "brb 0x1000");
+}
+
+TEST(VaxDisasm, BlockWalksVariableLengths)
+{
+    const Program prog = assembleVax(R"(
+start:  movl  #5, r0
+        addl2 r0, r1
+        sobgtr r1, start
+        halt
+)");
+    const auto &seg = prog.segments.at(0);
+    const auto lines = vaxDisassembleBlock(seg.bytes, seg.base);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].text, "movl #5, r0");
+    EXPECT_EQ(lines[1].text, "addl2 r0, r1");
+    EXPECT_EQ(lines[3].text, "halt");
+    // Lengths chain: each line starts where the previous ended.
+    std::uint32_t addr = seg.base;
+    for (const auto &line : lines) {
+        EXPECT_EQ(line.address, addr);
+        addr += line.length;
+    }
+    EXPECT_EQ(addr - seg.base, seg.bytes.size());
+}
+
+TEST(VaxDisasm, IllegalOpcodeThrows)
+{
+    const std::vector<std::uint8_t> junk = {0xff, 0x00};
+    EXPECT_THROW(vaxDisassembleAt(junk, 0, 0), FatalError);
+}
+
+TEST(VaxDisasm, TruncatedInstructionThrows)
+{
+    // movl with an immediate but the 4 bytes are missing.
+    const std::vector<std::uint8_t> bytes = {0x10, 0x8f, 0x01};
+    EXPECT_THROW(vaxDisassembleAt(bytes, 0, 0), FatalError);
+}
+
+} // namespace
+} // namespace risc1

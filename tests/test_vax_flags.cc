@@ -1,0 +1,169 @@
+/** Condition-code semantics and branch-family tests for the baseline. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "vax/vassembler.hh"
+#include "vax/vmachine.hh"
+
+namespace risc1 {
+namespace {
+
+/** Run "cmpl #a, #b" then every conditional branch; returns a mask of
+ *  which branches were taken (bit i = branch i). */
+std::uint32_t
+branchMask(std::uint32_t a, std::uint32_t b)
+{
+    // Each branch, when taken, sets one bit of r0.
+    std::ostringstream src;
+    src << "start:  clrl r0\n"
+        << "        movl #" << a << ", r1\n"
+        << "        movl #" << b << ", r2\n";
+    const char *branches[] = {"beql", "bneq", "blss", "bleq",
+                              "bgtr", "bgeq", "blssu", "blequ",
+                              "bgtru", "bgequ"};
+    for (int i = 0; i < 10; ++i) {
+        src << "        cmpl r1, r2\n"
+            << "        " << branches[i] << " yes" << i << "\n"
+            << "        brb  no" << i << "\n"
+            << "yes" << i << ": bisl2 #" << (1 << i) << ", r0\n"
+            << "no" << i << ":  nop\n";
+    }
+    src << "        halt\n";
+
+    VaxMachine m;
+    m.loadProgram(assembleVax(src.str()));
+    m.run(100000);
+    return m.reg(0);
+}
+
+std::uint32_t
+referenceMask(std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    std::uint32_t mask = 0;
+    if (a == b) mask |= 1 << 0;          // beql
+    if (a != b) mask |= 1 << 1;          // bneq
+    if (sa < sb) mask |= 1 << 2;         // blss
+    if (sa <= sb) mask |= 1 << 3;        // bleq
+    if (sa > sb) mask |= 1 << 4;         // bgtr
+    if (sa >= sb) mask |= 1 << 5;        // bgeq
+    if (a < b) mask |= 1 << 6;           // blssu
+    if (a <= b) mask |= 1 << 7;          // blequ
+    if (a > b) mask |= 1 << 8;           // bgtru
+    if (a >= b) mask |= 1 << 9;          // bgequ
+    return mask;
+}
+
+TEST(VaxFlags, BranchFamilyOnRepresentativePairs)
+{
+    const std::pair<std::uint32_t, std::uint32_t> pairs[] = {
+        {0, 0},
+        {1, 2},
+        {2, 1},
+        {0xffffffff, 1},          // -1 vs 1: signed/unsigned split
+        {1, 0xffffffff},
+        {0x80000000, 0x7fffffff}, // INT_MIN vs INT_MAX (overflow case)
+        {0x7fffffff, 0x80000000},
+        {42, 42},
+    };
+    for (const auto &[a, b] : pairs)
+        EXPECT_EQ(branchMask(a, b), referenceMask(a, b))
+            << a << " vs " << b;
+}
+
+/** Property sweep with random operands. */
+class VaxBranchProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(VaxBranchProperty, RandomPairsMatchReference)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 25; ++iter) {
+        const auto a = static_cast<std::uint32_t>(rng.next());
+        const auto b = rng.chance(1, 3)
+                           ? a
+                           : static_cast<std::uint32_t>(rng.next());
+        ASSERT_EQ(branchMask(a, b), referenceMask(a, b))
+            << a << " vs " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VaxBranchProperty,
+                         ::testing::Values(3u, 17u, 4242u));
+
+TEST(VaxFlags, ArithmeticSetsNZ)
+{
+    VaxMachine m;
+    m.loadProgram(assembleVax(R"(
+start:  movl  #1, r1
+        subl2 #1, r1          ; result 0: Z
+        halt
+)"));
+    m.run();
+    EXPECT_TRUE(m.cc().z);
+    EXPECT_FALSE(m.cc().n);
+}
+
+TEST(VaxFlags, SubSetsBorrowAndOverflow)
+{
+    VaxMachine m;
+    m.loadProgram(assembleVax(R"(
+start:  movl  #3, r1
+        subl2 #5, r1          ; 3 - 5: borrow, negative
+        halt
+)"));
+    m.run();
+    EXPECT_TRUE(m.cc().c);
+    EXPECT_TRUE(m.cc().n);
+    EXPECT_FALSE(m.cc().v);
+
+    VaxMachine m2;
+    m2.loadProgram(assembleVax(R"(
+start:  movl  #0x80000000, r1
+        subl2 #1, r1          ; INT_MIN - 1: signed overflow
+        halt
+)"));
+    m2.run();
+    EXPECT_TRUE(m2.cc().v);
+}
+
+TEST(VaxFlags, MoveSetsNZClearsVC)
+{
+    VaxMachine m;
+    m.loadProgram(assembleVax(R"(
+start:  movl  #3, r1
+        subl2 #5, r1          ; C set
+        movl  #0x80000000, r2 ; mov: N set, C/V cleared
+        halt
+)"));
+    m.run();
+    EXPECT_TRUE(m.cc().n);
+    EXPECT_FALSE(m.cc().z);
+    EXPECT_FALSE(m.cc().c);
+    EXPECT_FALSE(m.cc().v);
+}
+
+TEST(VaxFlags, TstlAndLoopBranches)
+{
+    VaxMachine m;
+    m.loadProgram(assembleVax(R"(
+start:  clrl  r0
+        movl  #5, r1
+again:  incl  r0
+        sobgtr r1, again      ; loop flags come from the decrement
+        tstl  r0
+        beql  zero
+        movl  #1, r2
+zero:   halt
+)"));
+    m.run();
+    EXPECT_EQ(m.reg(0), 5u);
+    EXPECT_EQ(m.reg(2), 1u);
+}
+
+} // namespace
+} // namespace risc1

@@ -1,0 +1,147 @@
+/**
+ * Full-ISA sweep for the CISC baseline: every opcode assembles,
+ * disassembles back to its own text, and the metadata table is
+ * internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+#include "vax/vdisasm.hh"
+#include "vax/visa.hh"
+
+namespace risc1 {
+namespace {
+
+/** A representative source statement for each mnemonic. */
+std::map<std::string, std::string>
+sampleStatements()
+{
+    return {
+        {"halt", "halt"},
+        {"nop", "nop"},
+        {"movl", "movl r1, r2"},
+        {"movb", "movb r1, r2"},
+        {"movw", "movw r1, r2"},
+        {"moval", "moval (r1), r2"},
+        {"movzbl", "movzbl (r1), r2"},
+        {"movzwl", "movzwl (r1), r2"},
+        {"clrl", "clrl r3"},
+        {"pushl", "pushl r4"},
+        {"mnegl", "mnegl r1, r2"},
+        {"mcoml", "mcoml r1, r2"},
+        {"addl2", "addl2 r1, r2"},
+        {"addl3", "addl3 r1, r2, r3"},
+        {"subl2", "subl2 r1, r2"},
+        {"subl3", "subl3 r1, r2, r3"},
+        {"mull2", "mull2 r1, r2"},
+        {"mull3", "mull3 r1, r2, r3"},
+        {"divl2", "divl2 r1, r2"},
+        {"divl3", "divl3 r1, r2, r3"},
+        {"incl", "incl r5"},
+        {"decl", "decl r5"},
+        {"bisl2", "bisl2 r1, r2"},
+        {"bicl2", "bicl2 r1, r2"},
+        {"xorl2", "xorl2 r1, r2"},
+        {"ashl", "ashl #4, r1, r2"},
+        {"cmpl", "cmpl r1, r2"},
+        {"tstl", "tstl r1"},
+        {"cmpb", "cmpb r1, r2"},
+        {"brb", "brb start"},
+        {"brw", "brw start"},
+        {"beql", "beql start"},
+        {"bneq", "bneq start"},
+        {"blss", "blss start"},
+        {"bleq", "bleq start"},
+        {"bgtr", "bgtr start"},
+        {"bgeq", "bgeq start"},
+        {"blssu", "blssu start"},
+        {"blequ", "blequ start"},
+        {"bgtru", "bgtru start"},
+        {"bgequ", "bgequ start"},
+        {"bvs", "bvs start"},
+        {"bvc", "bvc start"},
+        {"jmp", "jmp @0x2000"},
+        {"sobgtr", "sobgtr r1, start"},
+        {"sobgeq", "sobgeq r1, start"},
+        {"aoblss", "aoblss #10, r1, start"},
+        {"aobleq", "aobleq #10, r1, start"},
+        {"calls", "calls #0, @0x2000"},
+        {"ret", "ret"},
+        {"jsb", "jsb @0x2000"},
+        {"rsb", "rsb"},
+        {"pushr", "pushr #6"},
+        {"popr", "popr #6"},
+    };
+}
+
+TEST(VaxIsaSweep, EveryOpcodeHasASample)
+{
+    std::size_t count = 0;
+    const VaxOpInfo *all = vaxAllOpcodes(count);
+    const auto samples = sampleStatements();
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_TRUE(samples.contains(std::string(all[i].mnemonic)))
+            << all[i].mnemonic;
+    EXPECT_EQ(samples.size(), count);
+}
+
+TEST(VaxIsaSweep, EveryOpcodeAssemblesAndDisassembles)
+{
+    for (const auto &[mnemonic, stmt] : sampleStatements()) {
+        const Program prog =
+            assembleVax("start: " + stmt + "\n");
+        const auto &seg = prog.segments.at(0);
+        const VaxDisasmLine line =
+            vaxDisassembleAt(seg.bytes, 0, seg.base);
+        EXPECT_EQ(line.text.substr(0, mnemonic.size()), mnemonic);
+        EXPECT_EQ(line.length, seg.bytes.size()) << stmt;
+    }
+}
+
+TEST(VaxIsaSweep, MetadataConsistent)
+{
+    std::size_t count = 0;
+    const VaxOpInfo *all = vaxAllOpcodes(count);
+    std::set<std::uint8_t> values;
+    std::set<std::string_view> names;
+    for (std::size_t i = 0; i < count; ++i) {
+        const VaxOpInfo &info = all[i];
+        EXPECT_TRUE(values.insert(
+            static_cast<std::uint8_t>(info.op)).second)
+            << "duplicate opcode value for " << info.mnemonic;
+        EXPECT_TRUE(names.insert(info.mnemonic).second)
+            << "duplicate mnemonic " << info.mnemonic;
+        EXPECT_LE(info.numOperands, vaxMaxOperands);
+        EXPECT_GE(info.baseCycles, 2) << info.mnemonic;
+        // The dense table round-trips.
+        ASSERT_NE(vaxOpcodeInfo(info.op), nullptr);
+        EXPECT_EQ(vaxOpcodeInfo(info.op)->mnemonic, info.mnemonic);
+        EXPECT_EQ(vaxOpcodeFromMnemonic(info.mnemonic), info.op);
+    }
+}
+
+TEST(VaxIsaSweep, BranchDisplacementsAreOneByte)
+{
+    // Conditional branch: opcode + disp8 = 2 bytes.
+    const Program prog = assembleVax("start: beql start\n halt\n");
+    EXPECT_EQ(prog.segments.at(0).bytes.size(), 3u);
+}
+
+TEST(VaxIsaSweep, OutOfRangeBranchRejected)
+{
+    // Put the target out of byte range.
+    std::string src = "start: beql far\n";
+    for (int i = 0; i < 200; ++i)
+        src += " nop\n nop\n";
+    src += "far: halt\n";
+    EXPECT_THROW(assembleVax(src), FatalError);
+}
+
+} // namespace
+} // namespace risc1

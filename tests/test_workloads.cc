@@ -1,0 +1,124 @@
+/**
+ * Cross-ISA integration tests: every workload must produce the
+ * reference checksum on BOTH machines — this is what makes the
+ * size/speed/traffic comparisons in the benches meaningful.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+class WorkloadCross : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &wl() const { return findWorkload(GetParam()); }
+};
+
+TEST_P(WorkloadCross, RiscChecksumMatchesReference)
+{
+    const RiscRun run = runRiscWorkload(wl());
+    EXPECT_EQ(run.checksum, wl().expected);
+    EXPECT_GT(run.stats.instructions, 0u);
+    EXPECT_GE(run.stats.cycles, run.stats.instructions);
+}
+
+TEST_P(WorkloadCross, VaxChecksumMatchesReference)
+{
+    const VaxRun run = runVaxWorkload(wl());
+    EXPECT_EQ(run.checksum, wl().expected);
+    EXPECT_GT(run.stats.instructions, 0u);
+    // Microcoded: CPI must exceed 1 by a clear margin.
+    EXPECT_GT(run.stats.cycles, run.stats.instructions * 2);
+}
+
+TEST_P(WorkloadCross, RiscResultIsWindowCountInvariant)
+{
+    for (const unsigned windows : {2u, 4u, 8u}) {
+        MachineConfig cfg;
+        cfg.windows.numWindows = windows;
+        const RiscRun run = runRiscWorkload(wl(), cfg);
+        EXPECT_EQ(run.checksum, wl().expected) << "windows=" << windows;
+    }
+}
+
+TEST_P(WorkloadCross, RiscResultSurvivesWindowAblation)
+{
+    MachineConfig cfg;
+    cfg.windowedCalls = false;
+    const RiscRun run = runRiscWorkload(wl(), cfg);
+    EXPECT_EQ(run.checksum, wl().expected);
+}
+
+TEST_P(WorkloadCross, CallCountsBalance)
+{
+    const RiscRun run = runRiscWorkload(wl());
+    EXPECT_EQ(run.stats.calls, run.stats.returns);
+    const VaxRun vrun = runVaxWorkload(wl());
+    EXPECT_EQ(vrun.stats.calls, vrun.stats.returns);
+}
+
+std::vector<std::string>
+workloadIds()
+{
+    std::vector<std::string> ids;
+    for (const auto &w : allWorkloads())
+        ids.push_back(w.id);
+    return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadCross,
+                         ::testing::ValuesIn(workloadIds()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, ElevenDistinctWorkloads)
+{
+    const auto &all = allWorkloads();
+    EXPECT_EQ(all.size(), 11u);
+    std::set<std::string> ids;
+    for (const auto &w : all) {
+        ids.insert(w.id);
+        EXPECT_FALSE(w.riscSource.empty());
+        EXPECT_FALSE(w.vaxSource.empty());
+        EXPECT_FALSE(w.provenance.empty());
+    }
+    EXPECT_EQ(ids.size(), all.size());
+}
+
+TEST(WorkloadRegistry, LookupUnknownFails)
+{
+    EXPECT_THROW(findWorkload("nope"), FatalError);
+}
+
+TEST(WorkloadRegistry, CallIntensiveFlagMatchesBehaviour)
+{
+    for (const auto &w : allWorkloads()) {
+        const RiscRun run = runRiscWorkload(w);
+        const double callShare =
+            static_cast<double>(run.stats.calls) /
+            static_cast<double>(run.stats.instructions);
+        if (w.callIntensive) {
+            EXPECT_GT(callShare, 0.01) << w.id;
+        }
+    }
+}
+
+TEST(WorkloadRegistry, CodeSizesNonTrivialOnBothIsas)
+{
+    for (const auto &w : allWorkloads()) {
+        const RiscRun r = runRiscWorkload(w);
+        const VaxRun v = runVaxWorkload(w);
+        EXPECT_GT(r.codeBytes, 40u) << w.id;
+        EXPECT_GT(v.codeBytes, 20u) << w.id;
+        // The variable-length CISC encoding is denser.
+        EXPECT_LT(v.codeBytes, r.codeBytes) << w.id;
+    }
+}
+
+} // namespace
+} // namespace risc1
