@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_delay_slots.dir/fig_delay_slots.cc.o"
+  "CMakeFiles/fig_delay_slots.dir/fig_delay_slots.cc.o.d"
+  "fig_delay_slots"
+  "fig_delay_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_delay_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

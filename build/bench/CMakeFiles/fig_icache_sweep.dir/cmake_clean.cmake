@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_icache_sweep.dir/fig_icache_sweep.cc.o"
+  "CMakeFiles/fig_icache_sweep.dir/fig_icache_sweep.cc.o.d"
+  "fig_icache_sweep"
+  "fig_icache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_icache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_register_traffic.dir/fig_register_traffic.cc.o"
+  "CMakeFiles/fig_register_traffic.dir/fig_register_traffic.cc.o.d"
+  "fig_register_traffic"
+  "fig_register_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_register_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

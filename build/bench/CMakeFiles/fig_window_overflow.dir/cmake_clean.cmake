@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_window_overflow.dir/fig_window_overflow.cc.o"
+  "CMakeFiles/fig_window_overflow.dir/fig_window_overflow.cc.o.d"
+  "fig_window_overflow"
+  "fig_window_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_window_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

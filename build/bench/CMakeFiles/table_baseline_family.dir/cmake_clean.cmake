@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_baseline_family.dir/table_baseline_family.cc.o"
+  "CMakeFiles/table_baseline_family.dir/table_baseline_family.cc.o.d"
+  "table_baseline_family"
+  "table_baseline_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_baseline_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

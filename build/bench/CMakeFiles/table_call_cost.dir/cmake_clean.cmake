@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_call_cost.dir/table_call_cost.cc.o"
+  "CMakeFiles/table_call_cost.dir/table_call_cost.cc.o.d"
+  "table_call_cost"
+  "table_call_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_call_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_code_size.dir/table_code_size.cc.o"
+  "CMakeFiles/table_code_size.dir/table_code_size.cc.o.d"
+  "table_code_size"
+  "table_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

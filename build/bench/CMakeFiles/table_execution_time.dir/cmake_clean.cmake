@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_execution_time.dir/table_execution_time.cc.o"
+  "CMakeFiles/table_execution_time.dir/table_execution_time.cc.o.d"
+  "table_execution_time"
+  "table_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

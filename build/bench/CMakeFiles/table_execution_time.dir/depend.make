@@ -1,0 +1,2 @@
+# Empty dependencies file for table_execution_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fetch_traffic.dir/table_fetch_traffic.cc.o"
+  "CMakeFiles/table_fetch_traffic.dir/table_fetch_traffic.cc.o.d"
+  "table_fetch_traffic"
+  "table_fetch_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fetch_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

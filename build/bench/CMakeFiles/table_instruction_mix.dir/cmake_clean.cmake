@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_instruction_mix.dir/table_instruction_mix.cc.o"
+  "CMakeFiles/table_instruction_mix.dir/table_instruction_mix.cc.o.d"
+  "table_instruction_mix"
+  "table_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_window_configs.dir/table_window_configs.cc.o"
+  "CMakeFiles/table_window_configs.dir/table_window_configs.cc.o.d"
+  "table_window_configs"
+  "table_window_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_window_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

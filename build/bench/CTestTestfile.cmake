@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table_instruction_mix "/root/repo/build/bench/table_instruction_mix")
+set_tests_properties(bench_table_instruction_mix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_code_size "/root/repo/build/bench/table_code_size")
+set_tests_properties(bench_table_code_size PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_execution_time "/root/repo/build/bench/table_execution_time")
+set_tests_properties(bench_table_execution_time PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_call_cost "/root/repo/build/bench/table_call_cost")
+set_tests_properties(bench_table_call_cost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig_window_overflow "/root/repo/build/bench/fig_window_overflow")
+set_tests_properties(bench_fig_window_overflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig_delay_slots "/root/repo/build/bench/fig_delay_slots")
+set_tests_properties(bench_fig_delay_slots PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig_register_traffic "/root/repo/build/bench/fig_register_traffic")
+set_tests_properties(bench_fig_register_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_window_configs "/root/repo/build/bench/table_window_configs")
+set_tests_properties(bench_table_window_configs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_baseline_family "/root/repo/build/bench/table_baseline_family")
+set_tests_properties(bench_table_baseline_family PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table_fetch_traffic "/root/repo/build/bench/table_fetch_traffic")
+set_tests_properties(bench_table_fetch_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig_icache_sweep "/root/repo/build/bench/fig_icache_sweep")
+set_tests_properties(bench_fig_icache_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")

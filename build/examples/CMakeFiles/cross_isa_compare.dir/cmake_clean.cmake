@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_isa_compare.dir/cross_isa_compare.cpp.o"
+  "CMakeFiles/cross_isa_compare.dir/cross_isa_compare.cpp.o.d"
+  "cross_isa_compare"
+  "cross_isa_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_isa_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

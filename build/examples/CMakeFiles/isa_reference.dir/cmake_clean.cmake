@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_reference.dir/isa_reference.cpp.o"
+  "CMakeFiles/isa_reference.dir/isa_reference.cpp.o.d"
+  "isa_reference"
+  "isa_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscsim.dir/riscsim.cpp.o"
+  "CMakeFiles/riscsim.dir/riscsim.cpp.o.d"
+  "riscsim"
+  "riscsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

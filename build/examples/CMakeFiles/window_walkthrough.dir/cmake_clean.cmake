@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_walkthrough.dir/window_walkthrough.cpp.o"
+  "CMakeFiles/window_walkthrough.dir/window_walkthrough.cpp.o.d"
+  "window_walkthrough"
+  "window_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

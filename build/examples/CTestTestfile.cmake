@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(riscsim_sum "/root/repo/build/examples/riscsim" "/root/repo/examples/programs/sum.s")
+set_tests_properties(riscsim_sum PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_fib "/root/repo/build/examples/riscsim" "/root/repo/examples/programs/fib.s")
+set_tests_properties(riscsim_fib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_cisc "/root/repo/build/examples/riscsim" "--cisc" "/root/repo/examples/programs/hello_cisc.s")
+set_tests_properties(riscsim_cisc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_disasm "/root/repo/build/examples/riscsim" "--disasm" "/root/repo/examples/programs/sum.s")
+set_tests_properties(riscsim_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_walkthrough "/root/repo/build/examples/window_walkthrough" "8" "4")
+set_tests_properties(example_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare "/root/repo/build/examples/cross_isa_compare" "hanoi")
+set_tests_properties(example_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isa_reference "/root/repo/build/examples/isa_reference")
+set_tests_properties(example_isa_reference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_reorganize "/root/repo/build/examples/riscsim" "--reorganize" "/root/repo/examples/programs/sum.s")
+set_tests_properties(riscsim_reorganize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_nowindows "/root/repo/build/examples/riscsim" "--no-windows" "/root/repo/examples/programs/fib.s")
+set_tests_properties(riscsim_nowindows PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(riscsim_cisc_disasm "/root/repo/build/examples/riscsim" "--cisc" "--disasm" "/root/repo/examples/programs/hello_cisc.s")
+set_tests_properties(riscsim_cisc_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/codesize.cc" "src/CMakeFiles/risc1.dir/analysis/codesize.cc.o" "gcc" "src/CMakeFiles/risc1.dir/analysis/codesize.cc.o.d"
+  "/root/repo/src/analysis/delay_slots.cc" "src/CMakeFiles/risc1.dir/analysis/delay_slots.cc.o" "gcc" "src/CMakeFiles/risc1.dir/analysis/delay_slots.cc.o.d"
+  "/root/repo/src/analysis/pipeline_model.cc" "src/CMakeFiles/risc1.dir/analysis/pipeline_model.cc.o" "gcc" "src/CMakeFiles/risc1.dir/analysis/pipeline_model.cc.o.d"
+  "/root/repo/src/analysis/reorganizer.cc" "src/CMakeFiles/risc1.dir/analysis/reorganizer.cc.o" "gcc" "src/CMakeFiles/risc1.dir/analysis/reorganizer.cc.o.d"
+  "/root/repo/src/analysis/window_analyzer.cc" "src/CMakeFiles/risc1.dir/analysis/window_analyzer.cc.o" "gcc" "src/CMakeFiles/risc1.dir/analysis/window_analyzer.cc.o.d"
+  "/root/repo/src/asm/assembler.cc" "src/CMakeFiles/risc1.dir/asm/assembler.cc.o" "gcc" "src/CMakeFiles/risc1.dir/asm/assembler.cc.o.d"
+  "/root/repo/src/asm/lexer.cc" "src/CMakeFiles/risc1.dir/asm/lexer.cc.o" "gcc" "src/CMakeFiles/risc1.dir/asm/lexer.cc.o.d"
+  "/root/repo/src/asm/parser.cc" "src/CMakeFiles/risc1.dir/asm/parser.cc.o" "gcc" "src/CMakeFiles/risc1.dir/asm/parser.cc.o.d"
+  "/root/repo/src/codegen/expr.cc" "src/CMakeFiles/risc1.dir/codegen/expr.cc.o" "gcc" "src/CMakeFiles/risc1.dir/codegen/expr.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/risc1.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/risc1.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/program.cc" "src/CMakeFiles/risc1.dir/common/program.cc.o" "gcc" "src/CMakeFiles/risc1.dir/common/program.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/risc1.dir/common/table.cc.o" "gcc" "src/CMakeFiles/risc1.dir/common/table.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/risc1.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/risc1.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/risc1.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/risc1.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/risc1.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/risc1.dir/core/stats.cc.o.d"
+  "/root/repo/src/isa/condition.cc" "src/CMakeFiles/risc1.dir/isa/condition.cc.o" "gcc" "src/CMakeFiles/risc1.dir/isa/condition.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/risc1.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/risc1.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/risc1.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/risc1.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/risc1.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/risc1.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/memory.cc" "src/CMakeFiles/risc1.dir/memory/memory.cc.o" "gcc" "src/CMakeFiles/risc1.dir/memory/memory.cc.o.d"
+  "/root/repo/src/vax/vassembler.cc" "src/CMakeFiles/risc1.dir/vax/vassembler.cc.o" "gcc" "src/CMakeFiles/risc1.dir/vax/vassembler.cc.o.d"
+  "/root/repo/src/vax/vdisasm.cc" "src/CMakeFiles/risc1.dir/vax/vdisasm.cc.o" "gcc" "src/CMakeFiles/risc1.dir/vax/vdisasm.cc.o.d"
+  "/root/repo/src/vax/visa.cc" "src/CMakeFiles/risc1.dir/vax/visa.cc.o" "gcc" "src/CMakeFiles/risc1.dir/vax/visa.cc.o.d"
+  "/root/repo/src/vax/vmachine.cc" "src/CMakeFiles/risc1.dir/vax/vmachine.cc.o" "gcc" "src/CMakeFiles/risc1.dir/vax/vmachine.cc.o.d"
+  "/root/repo/src/workloads/wl_calls.cc" "src/CMakeFiles/risc1.dir/workloads/wl_calls.cc.o" "gcc" "src/CMakeFiles/risc1.dir/workloads/wl_calls.cc.o.d"
+  "/root/repo/src/workloads/wl_cfa.cc" "src/CMakeFiles/risc1.dir/workloads/wl_cfa.cc.o" "gcc" "src/CMakeFiles/risc1.dir/workloads/wl_cfa.cc.o.d"
+  "/root/repo/src/workloads/wl_loops.cc" "src/CMakeFiles/risc1.dir/workloads/wl_loops.cc.o" "gcc" "src/CMakeFiles/risc1.dir/workloads/wl_loops.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/risc1.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/risc1.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librisc1.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for risc1.
+# This may be replaced when dependencies are built.

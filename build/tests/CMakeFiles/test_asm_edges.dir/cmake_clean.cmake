@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_edges.dir/test_asm_edges.cc.o"
+  "CMakeFiles/test_asm_edges.dir/test_asm_edges.cc.o.d"
+  "test_asm_edges"
+  "test_asm_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitfield.dir/test_bitfield.cc.o"
+  "CMakeFiles/test_bitfield.dir/test_bitfield.cc.o.d"
+  "test_bitfield"
+  "test_bitfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condition.dir/test_condition.cc.o"
+  "CMakeFiles/test_condition.dir/test_condition.cc.o.d"
+  "test_condition"
+  "test_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

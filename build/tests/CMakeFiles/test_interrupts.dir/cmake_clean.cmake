@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interrupts.dir/test_interrupts.cc.o"
+  "CMakeFiles/test_interrupts.dir/test_interrupts.cc.o.d"
+  "test_interrupts"
+  "test_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_alu.dir/test_machine_alu.cc.o"
+  "CMakeFiles/test_machine_alu.dir/test_machine_alu.cc.o.d"
+  "test_machine_alu"
+  "test_machine_alu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_control.dir/test_machine_control.cc.o"
+  "CMakeFiles/test_machine_control.dir/test_machine_control.cc.o.d"
+  "test_machine_control"
+  "test_machine_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

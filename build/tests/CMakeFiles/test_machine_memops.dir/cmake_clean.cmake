@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_memops.dir/test_machine_memops.cc.o"
+  "CMakeFiles/test_machine_memops.dir/test_machine_memops.cc.o.d"
+  "test_machine_memops"
+  "test_machine_memops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_memops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_windows.dir/test_machine_windows.cc.o"
+  "CMakeFiles/test_machine_windows.dir/test_machine_windows.cc.o.d"
+  "test_machine_windows"
+  "test_machine_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_property.dir/test_memory_property.cc.o"
+  "CMakeFiles/test_memory_property.dir/test_memory_property.cc.o.d"
+  "test_memory_property"
+  "test_memory_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

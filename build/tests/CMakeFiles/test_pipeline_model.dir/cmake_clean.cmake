@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cc.o"
+  "CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cc.o.d"
+  "test_pipeline_model"
+  "test_pipeline_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programs.dir/test_programs.cc.o"
+  "CMakeFiles/test_programs.dir/test_programs.cc.o.d"
+  "test_programs"
+  "test_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psw.dir/test_psw.cc.o"
+  "CMakeFiles/test_psw.dir/test_psw.cc.o.d"
+  "test_psw"
+  "test_psw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

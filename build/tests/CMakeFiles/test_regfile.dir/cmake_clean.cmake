@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regfile.dir/test_regfile.cc.o"
+  "CMakeFiles/test_regfile.dir/test_regfile.cc.o.d"
+  "test_regfile"
+  "test_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

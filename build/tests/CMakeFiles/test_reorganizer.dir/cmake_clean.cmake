@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorganizer.dir/test_reorganizer.cc.o"
+  "CMakeFiles/test_reorganizer.dir/test_reorganizer.cc.o.d"
+  "test_reorganizer"
+  "test_reorganizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorganizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vax_flags.dir/test_vax_flags.cc.o"
+  "CMakeFiles/test_vax_flags.dir/test_vax_flags.cc.o.d"
+  "test_vax_flags"
+  "test_vax_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vax_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

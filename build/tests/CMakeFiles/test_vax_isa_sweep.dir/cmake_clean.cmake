@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vax_isa_sweep.dir/test_vax_isa_sweep.cc.o"
+  "CMakeFiles/test_vax_isa_sweep.dir/test_vax_isa_sweep.cc.o.d"
+  "test_vax_isa_sweep"
+  "test_vax_isa_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vax_isa_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vax_machine.dir/test_vax_machine.cc.o"
+  "CMakeFiles/test_vax_machine.dir/test_vax_machine.cc.o.d"
+  "test_vax_machine"
+  "test_vax_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vax_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
