@@ -4,13 +4,20 @@
  * more instructions, but each takes one short cycle; the microcoded
  * CISC averages several cycles per instruction, so RISC I finishes
  * ~2-4x sooner at equal cycle time.
+ *
+ * Runs on the batch-simulation engine: both machines' runs for every
+ * workload are one declarative job set executed on the worker pool,
+ * and the per-job results land as a JSON artifact in bench/out/.
  */
 
 #include <cmath>
 #include <iostream>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/artifact.hh"
+#include "sim/engine.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
@@ -23,6 +30,33 @@ main()
         "RISC I runs ~2-4x faster despite executing more instructions "
         "(its CPI is near 1; the microcoded CISC is ~5-10)");
 
+    // Jobs in pairs: (RISC, CISC) per workload, submission order =
+    // table order.
+    std::vector<sim::SimJob> jobs;
+    for (const auto &w : allWorkloads()) {
+        sim::SimJob risc;
+        risc.id = cat(w.id, "/risc");
+        risc.source = w.riscSource;
+        risc.expected = w.expected;
+        jobs.push_back(std::move(risc));
+
+        sim::SimJob cisc;
+        cisc.id = cat(w.id, "/cisc");
+        cisc.machine = sim::SimMachine::Vax;
+        cisc.source = w.vaxSource;
+        cisc.expected = w.expected;
+        jobs.push_back(std::move(cisc));
+    }
+
+    const auto results = sim::runBatch(jobs);
+    for (const auto &r : results) {
+        if (r.status != sim::JobStatus::Ok) {
+            std::cerr << "job '" << r.id << "' failed: " << r.error
+                      << "\n";
+            return 1;
+        }
+    }
+
     Table table({"workload", "RISC instrs", "RISC cycles", "RISC CPI",
                  "CISC instrs", "CISC cycles", "CISC CPI",
                  "instr ratio", "speedup"});
@@ -30,34 +64,34 @@ main()
     double speedupProduct = 1.0;
     int count = 0;
     std::uint64_t riscCycles = 0, vaxCycles = 0;
+    std::size_t i = 0;
     for (const auto &w : allWorkloads()) {
-        const RiscRun r = runRiscWorkload(w);
-        const VaxRun v = runVaxWorkload(w);
-        const double riscCpi =
-            static_cast<double>(r.stats.cycles) /
-            static_cast<double>(r.stats.instructions);
-        const double vaxCpi =
-            static_cast<double>(v.stats.cycles) /
-            static_cast<double>(v.stats.instructions);
-        const double speedup = static_cast<double>(v.stats.cycles) /
-                               static_cast<double>(r.stats.cycles);
+        const RunStats &r = results[i].stats;
+        const VaxStats &v = results[i + 1].vaxStats;
+        i += 2;
+        const double riscCpi = static_cast<double>(r.cycles) /
+                               static_cast<double>(r.instructions);
+        const double vaxCpi = static_cast<double>(v.cycles) /
+                              static_cast<double>(v.instructions);
+        const double speedup = static_cast<double>(v.cycles) /
+                               static_cast<double>(r.cycles);
         table.addRow({
             w.id,
-            Table::num(r.stats.instructions),
-            Table::num(r.stats.cycles),
+            Table::num(r.instructions),
+            Table::num(r.cycles),
             Table::num(riscCpi, 2),
-            Table::num(v.stats.instructions),
-            Table::num(v.stats.cycles),
+            Table::num(v.instructions),
+            Table::num(v.cycles),
             Table::num(vaxCpi, 2),
-            Table::num(static_cast<double>(r.stats.instructions) /
-                           static_cast<double>(v.stats.instructions),
+            Table::num(static_cast<double>(r.instructions) /
+                           static_cast<double>(v.instructions),
                        2),
             Table::num(speedup, 2),
         });
         speedupProduct *= speedup;
         ++count;
-        riscCycles += r.stats.cycles;
-        vaxCycles += v.stats.cycles;
+        riscCycles += r.cycles;
+        vaxCycles += v.cycles;
     }
 
     table.addSeparator();
@@ -73,5 +107,9 @@ main()
     std::cout << "\ngeometric-mean speedup: "
               << Table::num(std::pow(speedupProduct, 1.0 / count), 2)
               << "x (cycles at equal cycle time)\n";
+
+    const std::string artifact = sim::writeArtifact(
+        "bench/out/table_execution_time.json", "E3", results);
+    std::cout << "artifact: " << artifact << "\n";
     return 0;
 }

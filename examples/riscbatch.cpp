@@ -1,0 +1,117 @@
+/**
+ * riscbatch — run a declarative job file on the batch-simulation
+ * engine and (optionally) write the structured JSON artifact.
+ *
+ *     riscbatch [--workers N] [--out artifact.json] jobs.file
+ *     riscbatch --list-workloads
+ *
+ * The job-file format and artifact schema are documented in
+ * docs/SIM.md; examples/programs/sweep.jobs is a worked example.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/artifact.hh"
+#include "sim/engine.hh"
+#include "sim/jobfile.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: riscbatch [--workers N] [--out artifact.json] "
+                 "jobs.file\n"
+                 "       riscbatch --list-workloads\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jobPath, outPath;
+    sim::BatchOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-workloads") {
+            for (const auto &w : allWorkloads())
+                std::cout << w.id << "\t" << w.name << "\n";
+            return 0;
+        } else if (arg == "--workers") {
+            if (++i == argc)
+                return usage();
+            const std::string value = argv[i];
+            if (value.empty() || value.size() > 9 ||
+                value.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "riscbatch: --workers needs a number, got '"
+                          << value << "'\n";
+                return 2;
+            }
+            options.workers = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--out") {
+            if (++i == argc)
+                return usage();
+            outPath = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (jobPath.empty()) {
+            jobPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (jobPath.empty())
+        return usage();
+
+    try {
+        const auto jobs = sim::loadJobFile(jobPath);
+        const auto results = sim::runBatch(jobs, options);
+
+        Table table({"job", "machine", "status", "steps", "cycles",
+                     "instrs", "checksum"});
+        int failures = 0;
+        for (const auto &r : results) {
+            const bool risc = r.machine == sim::SimMachine::Risc;
+            const std::uint64_t cycles =
+                risc ? r.stats.cycles : r.vaxStats.cycles;
+            const std::uint64_t instrs =
+                risc ? r.stats.instructions : r.vaxStats.instructions;
+            table.addRow({
+                r.id,
+                risc ? "risc" : "cisc",
+                std::string(sim::jobStatusName(r.status)),
+                Table::num(r.steps),
+                Table::num(cycles),
+                Table::num(instrs),
+                cat("0x", std::hex, r.checksum),
+            });
+            if (r.status != sim::JobStatus::Ok) {
+                ++failures;
+                std::cerr << "job '" << r.id << "': " << r.error << "\n";
+            }
+        }
+        table.print(std::cout);
+        std::cout << results.size() << " jobs on "
+                  << sim::resolveWorkers(options) << " workers, "
+                  << failures << " failed\n";
+
+        if (!outPath.empty())
+            std::cout << "artifact: "
+                      << sim::writeArtifact(outPath, jobPath, results)
+                      << "\n";
+        return failures == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "riscbatch: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Tier-1 verify plus a smoke run of the engine-ported benches.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+#
+# Mirrors ROADMAP.md's tier-1 command (default CMake generator) and
+# then executes the three batch-engine benches, which regenerate their
+# tables and write JSON artifacts under <build-dir>/bench/out/.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j)
+
+echo
+echo "== bench smoke: engine-ported sweeps =="
+for bench in table_window_configs table_execution_time fig_icache_sweep; do
+    echo "-- $bench"
+    (cd "$BUILD" && "./bench/$bench" > /dev/null)
+    test -s "$BUILD/bench/out/$bench.json" || {
+        echo "missing artifact: $BUILD/bench/out/$bench.json" >&2
+        exit 1
+    }
+done
+
+echo "check.sh: all green"

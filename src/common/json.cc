@@ -1,0 +1,189 @@
+#include "common/json.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out_.push_back('\n');
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        if (!out_.empty())
+            panic("JsonWriter: multiple top-level values");
+        return;
+    }
+    if (stack_.back() == Scope::Object && !pendingKey_)
+        panic("JsonWriter: value inside object without a key");
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // key() already placed comma/indent and the key itself
+    }
+    if (hasItems_.back())
+        out_.push_back(',');
+    hasItems_.back() = true;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (pendingKey_)
+        panic("JsonWriter: key() after key()");
+    if (hasItems_.back())
+        out_.push_back(',');
+    hasItems_.back() = true;
+    indent();
+    out_ += jsonEscape(name);
+    out_ += ": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    stack_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || pendingKey_)
+        panic("JsonWriter: unbalanced endObject()");
+    const bool hadItems = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (hadItems)
+        indent();
+    out_.push_back('}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    stack_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        panic("JsonWriter: unbalanced endArray()");
+    const bool hadItems = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (hadItems)
+        indent();
+    out_.push_back(']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += jsonEscape(s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        panic("JsonWriter: str() with open containers");
+    return out_ + "\n";
+}
+
+} // namespace risc1

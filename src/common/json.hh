@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for the structured run artifacts.
+ *
+ * Deliberately tiny: insertion-ordered keys, deterministic formatting
+ * (no locale, no floating-point surprises for integer counters), and
+ * pretty-printed two-space indentation so artifacts diff cleanly.
+ * Determinism matters — the batch engine's contract is that the same
+ * job set renders to byte-identical JSON regardless of worker count.
+ */
+
+#ifndef RISC1_COMMON_JSON_HH
+#define RISC1_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1 {
+
+/** Streaming JSON writer with validity checks on nesting. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint32_t v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(std::int32_t v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** Shorthand for key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The rendered document; only valid once all containers closed. */
+    std::string str() const;
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void beforeValue();
+    void indent();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    /** True when the next emission at this level needs a comma. */
+    std::vector<bool> hasItems_;
+    bool pendingKey_ = false;
+};
+
+/** Escape @p s per RFC 8259 (quotes included). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace risc1
+
+#endif // RISC1_COMMON_JSON_HH

@@ -557,6 +557,99 @@ Machine::step()
     return true;
 }
 
+MachineSnapshot
+Machine::snapshot() const
+{
+    MachineSnapshot s;
+    s.windows = config_.windows;
+    s.memorySize = config_.memorySize;
+    s.windowedCalls = config_.windowedCalls;
+
+    s.physRegs = regs_.physRegs();
+    s.cwp = regs_.cwp();
+    s.psw = psw_;
+    s.pc = pc_;
+    s.npc = npc_;
+    s.lastPc = lastPc_;
+    s.halted = halted_;
+    s.inDelaySlot = inDelaySlot_;
+    s.hasNpcOverride = hasNpcOverride_;
+    s.npcOverride = npcOverride_;
+    s.resident = resident_;
+    s.saved = saved_;
+    s.spillSp = spillSp_;
+    s.softSp = softSp_;
+    s.interruptPending = interruptPending_;
+    s.interruptVector = interruptVector_;
+    s.interruptsTaken = interruptsTaken_;
+
+    s.stats = stats_;
+    s.memStats = mem_.stats();
+    s.callTrace = callTrace_;
+
+    s.pages = mem_.dirtyPages();
+    if (icache_)
+        s.icache = icache_->snapshot();
+    if (dcache_)
+        s.dcache = dcache_->snapshot();
+    return s;
+}
+
+void
+Machine::restore(const MachineSnapshot &snap)
+{
+    const WindowConfig &w = snap.windows;
+    const WindowConfig &mine = config_.windows;
+    if (w.numGlobals != mine.numGlobals || w.numLocals != mine.numLocals ||
+        w.overlap != mine.overlap || w.numWindows != mine.numWindows)
+        fatal("snapshot restore: window geometry does not match");
+    if (snap.memorySize != config_.memorySize)
+        fatal(cat("snapshot restore: memory size ", snap.memorySize,
+                  " != machine's ", config_.memorySize));
+    if (snap.windowedCalls != config_.windowedCalls)
+        fatal("snapshot restore: windowed-calls mode does not match");
+
+    regs_.restore(snap.physRegs, snap.cwp);
+    psw_ = snap.psw;
+    pc_ = snap.pc;
+    npc_ = snap.npc;
+    lastPc_ = snap.lastPc;
+    halted_ = snap.halted;
+    inDelaySlot_ = snap.inDelaySlot;
+    hasNpcOverride_ = snap.hasNpcOverride;
+    npcOverride_ = snap.npcOverride;
+    resident_ = snap.resident;
+    saved_ = snap.saved;
+    spillSp_ = snap.spillSp;
+    softSp_ = snap.softSp;
+    interruptPending_ = snap.interruptPending;
+    interruptVector_ = snap.interruptVector;
+    interruptsTaken_ = snap.interruptsTaken;
+
+    stats_ = snap.stats;
+    callTrace_ = snap.callTrace;
+
+    mem_.restoreContents(snap.pages);
+    mem_.setStats(snap.memStats);
+
+    // Caches are a timing model, not architectural state: a matching
+    // cache resumes warm, a mismatched (or newly fitted) one starts
+    // cold — the intended semantics when forking one prologue across
+    // cache-configuration sweep points.
+    if (icache_) {
+        if (snap.icache && icache_->compatible(snap.icache->config))
+            icache_->restore(*snap.icache);
+        else
+            icache_->reset();
+    }
+    if (dcache_) {
+        if (snap.dcache && dcache_->compatible(snap.dcache->config))
+            dcache_->restore(*snap.dcache);
+        else
+            dcache_->reset();
+    }
+}
+
 RunOutcome
 Machine::run(std::uint64_t maxSteps)
 {

@@ -111,6 +111,58 @@ struct RunOutcome
     std::uint64_t steps = 0;
 };
 
+/**
+ * Full architectural + accounting state captured by Machine::snapshot().
+ *
+ * A snapshot can be restored into any machine whose window geometry,
+ * memory size, and windowed/non-windowed mode match the machine it was
+ * taken from; timing parameters and cache fittings may differ.  This is
+ * the fork primitive the batch engine uses to run a warmed-up prologue
+ * once and sweep the epilogue across configurations: caches whose
+ * geometry matches the snapshot resume with their captured contents,
+ * any other cache restarts cold.
+ *
+ * Memory is captured as dirty pages only (everything written since the
+ * machine was constructed); memory starts zeroed, so the dirty set is
+ * a complete content snapshot.
+ */
+struct MachineSnapshot
+{
+    // -- Compatibility fingerprint ---------------------------------------
+    WindowConfig windows;
+    std::size_t memorySize = 0;
+    bool windowedCalls = true;
+
+    // -- Processor state -------------------------------------------------
+    std::vector<std::uint32_t> physRegs;
+    unsigned cwp = 0;
+    Psw psw;
+    std::uint32_t pc = 0;
+    std::uint32_t npc = 0;
+    std::uint32_t lastPc = 0;
+    bool halted = false;
+    bool inDelaySlot = false;
+    bool hasNpcOverride = false;
+    std::uint32_t npcOverride = 0;
+    unsigned resident = 1;
+    unsigned saved = 0;
+    std::uint32_t spillSp = 0;
+    std::uint32_t softSp = 0;
+    bool interruptPending = false;
+    std::uint32_t interruptVector = 0;
+    std::uint64_t interruptsTaken = 0;
+
+    // -- Accounting ------------------------------------------------------
+    RunStats stats;
+    MemoryStats memStats;
+    std::vector<CallEvent> callTrace;
+
+    // -- Memory and caches -----------------------------------------------
+    std::vector<MemoryPage> pages;
+    std::optional<CacheSnapshot> icache;
+    std::optional<CacheSnapshot> dcache;
+};
+
 /** The RISC I processor simulator. */
 class Machine
 {
@@ -187,6 +239,24 @@ class Machine
     {
         return dcache_ ? dcache_->stats() : CacheStats{};
     }
+
+    /**
+     * Capture the complete machine state (registers, PSW, window
+     * bookkeeping, pending interrupt, statistics, dirty memory pages,
+     * cache contents).  The snapshot is self-contained and may outlive
+     * this machine.
+     */
+    MachineSnapshot snapshot() const;
+
+    /**
+     * Replace this machine's state with @p snap, as if execution had
+     * run to the capture point here.  @throws FatalError when the
+     * snapshot's window geometry, memory size, or windowed-calls mode
+     * does not match this machine's configuration.  Caches keep their
+     * snapshot contents when the geometry matches and restart cold
+     * otherwise (see MachineSnapshot).
+     */
+    void restore(const MachineSnapshot &snap);
 
   private:
     struct AluResult

@@ -113,4 +113,17 @@ RegFile::reset()
     cwp_ = 0;
 }
 
+void
+RegFile::restore(const std::vector<std::uint32_t> &phys, unsigned cwp)
+{
+    if (phys.size() != phys_.size())
+        fatal(cat("regfile restore: snapshot has ", phys.size(),
+                  " physical registers, this file has ", phys_.size()));
+    if (cwp >= config_.numWindows)
+        fatal(cat("regfile restore: CWP ", cwp, " out of range for ",
+                  config_.numWindows, " windows"));
+    phys_ = phys;
+    cwp_ = cwp;
+}
+
 } // namespace risc1

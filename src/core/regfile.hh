@@ -107,6 +107,16 @@ class RegFile
     /** Zero every physical register and reset CWP. */
     void reset();
 
+    /** The raw physical register array (for machine snapshots). */
+    const std::vector<std::uint32_t> &physRegs() const { return phys_; }
+
+    /**
+     * Restore the full physical state captured by physRegs()/cwp().
+     * @throws FatalError when @p phys does not match this file's
+     * geometry or @p cwp is out of range.
+     */
+    void restore(const std::vector<std::uint32_t> &phys, unsigned cwp);
+
   private:
     unsigned windowBase(unsigned window) const;
 

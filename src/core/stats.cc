@@ -2,7 +2,59 @@
 
 #include <sstream>
 
+#include "common/json.hh"
+
 namespace risc1 {
+
+namespace {
+
+constexpr std::string_view kClassNames[] = {"alu",  "load",    "store",
+                                            "jump", "callret", "special"};
+
+} // namespace
+
+void
+RunStats::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("cycles", cycles)
+        .field("instructions", instructions);
+
+    w.key("perClass").beginObject();
+    for (std::size_t i = 0; i < perClass.size(); ++i)
+        w.field(kClassNames[i], perClass[i]);
+    w.endObject();
+
+    w.key("perOpcode").beginObject();
+    for (std::size_t i = 0; i < perOpcode.size(); ++i) {
+        if (perOpcode[i] == 0)
+            continue;
+        const OpcodeInfo *info = opcodeInfo(static_cast<Opcode>(i));
+        if (info)
+            w.field(info->mnemonic, perOpcode[i]);
+    }
+    w.endObject();
+
+    w.field("takenTransfers", takenTransfers)
+        .field("untakenJumps", untakenJumps)
+        .field("delaySlotsExecuted", delaySlotsExecuted)
+        .field("delaySlotNops", delaySlotNops)
+        .field("calls", calls)
+        .field("returns", returns)
+        .field("windowOverflows", windowOverflows)
+        .field("windowUnderflows", windowUnderflows)
+        .field("callDepth", callDepth)
+        .field("maxCallDepth", maxCallDepth)
+        .field("loadCount", loadCount)
+        .field("storeCount", storeCount)
+        .field("spillWords", spillWords)
+        .field("fillWords", fillWords)
+        .field("softSaveWords", softSaveWords)
+        .field("softRestoreWords", softRestoreWords)
+        .field("regOperandReads", regOperandReads)
+        .field("regOperandWrites", regOperandWrites)
+        .endObject();
+}
 
 std::string
 RunStats::summary() const

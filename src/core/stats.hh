@@ -72,6 +72,13 @@ struct RunStats
 
     /** Multi-line human-readable rendering. */
     std::string summary() const;
+
+    /**
+     * Serialize every counter to @p w as a JSON object.  Per-opcode
+     * counts are keyed by mnemonic and only non-zero entries appear,
+     * so artifacts stay compact and stable (see docs/SIM.md).
+     */
+    void writeJson(class JsonWriter &w) const;
 };
 
 } // namespace risc1

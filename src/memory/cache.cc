@@ -1,5 +1,6 @@
 #include "memory/cache.hh"
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace risc1 {
@@ -60,6 +61,39 @@ CacheModel::reset()
 {
     valid_.assign(numLines_, false);
     stats_.reset();
+}
+
+bool
+CacheModel::compatible(const CacheConfig &config) const
+{
+    return config.sizeBytes == config_.sizeBytes &&
+           config.lineBytes == config_.lineBytes &&
+           config.missPenaltyCycles == config_.missPenaltyCycles;
+}
+
+CacheSnapshot
+CacheModel::snapshot() const
+{
+    return CacheSnapshot{config_, tags_, valid_, stats_};
+}
+
+void
+CacheModel::restore(const CacheSnapshot &snap)
+{
+    if (!compatible(snap.config))
+        fatal("cache restore: snapshot geometry does not match");
+    tags_ = snap.tags;
+    valid_ = snap.valid;
+    stats_ = snap.stats;
+}
+
+void
+CacheStats::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("hits", hits)
+        .field("misses", misses)
+        .endObject();
 }
 
 } // namespace risc1

@@ -40,6 +40,18 @@ struct CacheStats
     }
 
     void reset() { *this = CacheStats{}; }
+
+    /** Serialize to @p w as a JSON object (see docs/SIM.md). */
+    void writeJson(class JsonWriter &w) const;
+};
+
+/** Full cache state captured by CacheModel::snapshot(). */
+struct CacheSnapshot
+{
+    CacheConfig config;
+    std::vector<std::uint32_t> tags;
+    std::vector<bool> valid;
+    CacheStats stats;
 };
 
 /** Direct-mapped cache with tag-only state (a timing model). */
@@ -56,6 +68,18 @@ class CacheModel
 
     /** Invalidate all lines and reset statistics. */
     void reset();
+
+    /** Capture tags, valid bits, and statistics. */
+    CacheSnapshot snapshot() const;
+
+    /**
+     * Restore a snapshot; @throws FatalError when the snapshot's
+     * geometry does not match this cache's configuration.
+     */
+    void restore(const CacheSnapshot &snap);
+
+    /** True when @p config matches this cache's geometry and timing. */
+    bool compatible(const CacheConfig &config) const;
 
   private:
     CacheConfig config_;

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace risc1 {
 
+void
+MemoryStats::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("reads", reads)
+        .field("writes", writes)
+        .field("fetches", fetches)
+        .field("bytesRead", bytesRead)
+        .field("bytesWritten", bytesWritten)
+        .endObject();
+}
+
 Memory::Memory(std::size_t size)
-    : data_(size, 0)
+    : data_(size, 0),
+      dirty_((size + pageBytes - 1) / pageBytes, false)
 {
     if (size == 0 || size % 4 != 0)
         fatal(cat("memory size must be a positive multiple of 4, got ",
@@ -70,6 +84,7 @@ Memory::writeHalf(std::uint32_t addr, std::uint16_t value)
     check(addr, 2);
     ++stats_.writes;
     stats_.bytesWritten += 2;
+    touch(addr, 2);
     data_[addr] = static_cast<std::uint8_t>(value);
     data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
 }
@@ -80,6 +95,7 @@ Memory::writeByte(std::uint32_t addr, std::uint8_t value)
     check(addr, 1);
     ++stats_.writes;
     stats_.bytesWritten += 1;
+    touch(addr, 1);
     data_[addr] = value;
 }
 
@@ -120,6 +136,7 @@ void
 Memory::pokeWord(std::uint32_t addr, std::uint32_t value)
 {
     check(addr, 4);
+    touch(addr, 4);
     data_[addr] = static_cast<std::uint8_t>(value);
     data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
     data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
@@ -130,6 +147,7 @@ void
 Memory::pokeByte(std::uint32_t addr, std::uint8_t value)
 {
     check(addr, 1);
+    touch(addr, 1);
     data_[addr] = value;
 }
 
@@ -140,6 +158,9 @@ Memory::load(std::uint32_t addr, const std::uint8_t *bytes,
     if (static_cast<std::size_t>(addr) + count > data_.size())
         fatal(cat("loader: block of ", count, " bytes at 0x", std::hex,
                   addr, " exceeds memory"));
+    if (count == 0)
+        return;
+    touch(addr, count);
     std::memcpy(data_.data() + addr, bytes, count);
 }
 
@@ -147,7 +168,43 @@ void
 Memory::clear()
 {
     std::fill(data_.begin(), data_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), false);
     stats_.reset();
+}
+
+std::vector<MemoryPage>
+Memory::dirtyPages() const
+{
+    std::vector<MemoryPage> pages;
+    for (std::size_t p = 0; p < dirty_.size(); ++p) {
+        if (!dirty_[p])
+            continue;
+        MemoryPage page;
+        page.base = static_cast<std::uint32_t>(p * pageBytes);
+        const std::size_t end =
+            std::min<std::size_t>(page.base + pageBytes, data_.size());
+        page.bytes.assign(data_.begin() + page.base, data_.begin() + end);
+        pages.push_back(std::move(page));
+    }
+    return pages;
+}
+
+void
+Memory::restoreContents(const std::vector<MemoryPage> &pages)
+{
+    clear();
+    for (const auto &page : pages) {
+        if (page.bytes.empty())
+            continue;
+        if (page.base % pageBytes != 0 ||
+            static_cast<std::size_t>(page.base) + page.bytes.size() >
+                data_.size())
+            fatal(cat("memory restore: bad page at 0x", std::hex,
+                      page.base));
+        touch(page.base, page.bytes.size());
+        std::memcpy(data_.data() + page.base, page.bytes.data(),
+                    page.bytes.size());
+    }
 }
 
 } // namespace risc1

@@ -27,6 +27,16 @@ struct MemoryStats
     {
         *this = MemoryStats{};
     }
+
+    /** Serialize to @p w as a JSON object (see docs/SIM.md). */
+    void writeJson(class JsonWriter &w) const;
+};
+
+/** One dirty page captured by Memory::dirtyPages(). */
+struct MemoryPage
+{
+    std::uint32_t base = 0;          ///< page-aligned start address
+    std::vector<std::uint8_t> bytes; ///< pageBytes of content
 };
 
 /**
@@ -39,6 +49,9 @@ struct MemoryStats
 class Memory
 {
   public:
+    /** Dirty-tracking granularity (bytes). */
+    static constexpr std::uint32_t pageBytes = 4096;
+
     /** Create a memory of @p size bytes (default 16 MiB). */
     explicit Memory(std::size_t size = 16u << 20);
 
@@ -68,14 +81,38 @@ class Memory
 
     const MemoryStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+    /** Overwrite the counters (machine snapshot restore). */
+    void setStats(const MemoryStats &stats) { stats_ = stats; }
 
-    /** Zero all contents and statistics. */
+    /** Zero all contents, statistics, and dirty-page marks. */
     void clear();
+
+    // -- Snapshot support ----------------------------------------------
+    /**
+     * Every page written since construction (or the last clear()), in
+     * ascending address order.  Memory starts zeroed, so the dirty set
+     * is a complete content snapshot: replaying it into a cleared
+     * memory of the same size reproduces the full state.
+     */
+    std::vector<MemoryPage> dirtyPages() const;
+
+    /** clear() and replay @p pages (which become the new dirty set). */
+    void restoreContents(const std::vector<MemoryPage> &pages);
 
   private:
     void check(std::uint32_t addr, unsigned bytes) const;
 
+    /** Mark the pages covering [addr, addr+bytes) dirty. */
+    void
+    touch(std::uint32_t addr, std::size_t bytes)
+    {
+        for (std::size_t p = addr / pageBytes;
+             p <= (addr + bytes - 1) / pageBytes; ++p)
+            dirty_[p] = true;
+    }
+
     std::vector<std::uint8_t> data_;
+    std::vector<bool> dirty_; ///< one bit per pageBytes-sized page
     MemoryStats stats_;
 };
 

@@ -1,0 +1,76 @@
+#include "sim/artifact.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace risc1::sim {
+
+void
+writeResultJson(JsonWriter &w, const SimResult &result)
+{
+    w.beginObject()
+        .field("index", static_cast<std::uint64_t>(result.index))
+        .field("id", result.id)
+        .field("machine",
+               result.machine == SimMachine::Risc ? "risc" : "cisc")
+        .field("status", jobStatusName(result.status))
+        .field("error", result.error)
+        .field("steps", result.steps)
+        .field("checksum", result.checksum)
+        .field("codeBytes", result.codeBytes);
+
+    if (result.machine == SimMachine::Risc) {
+        w.key("stats");
+        result.stats.writeJson(w);
+        w.key("icache");
+        result.icache.writeJson(w);
+        w.key("dcache");
+        result.dcache.writeJson(w);
+    } else {
+        w.key("stats");
+        result.vaxStats.writeJson(w);
+    }
+
+    w.key("memory");
+    result.mem.writeJson(w);
+    w.endObject();
+}
+
+std::string
+resultSetToJson(std::string_view batchName,
+                const std::vector<SimResult> &results)
+{
+    JsonWriter w;
+    w.beginObject().field("batch", batchName).field(
+        "jobs", static_cast<std::uint64_t>(results.size()));
+    w.key("results").beginArray();
+    for (const auto &result : results)
+        writeResultJson(w, result);
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+writeArtifact(const std::string &path, std::string_view batchName,
+              const std::vector<SimResult> &results)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec)
+            fatal(cat("cannot create artifact directory ",
+                      target.parent_path().string(), ": ", ec.message()));
+    }
+    std::ofstream out(target, std::ios::trunc);
+    if (!out)
+        fatal(cat("cannot open artifact file ", path));
+    out << resultSetToJson(batchName, results);
+    if (!out)
+        fatal(cat("write to artifact file ", path, " failed"));
+    return path;
+}
+
+} // namespace risc1::sim

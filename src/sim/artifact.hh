@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structured run artifacts: render a batch's result set to JSON and
+ * write it under an output directory (`bench/out/` by convention).
+ *
+ * The rendering is deterministic — insertion-ordered results, ordered
+ * keys, no timestamps — so the same job set produces byte-identical
+ * artifacts on every run and at every worker count.  The format is
+ * documented in docs/SIM.md.
+ */
+
+#ifndef RISC1_SIM_ARTIFACT_HH
+#define RISC1_SIM_ARTIFACT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/job.hh"
+
+namespace risc1::sim {
+
+/** Render one result as a JSON object into @p w. */
+void writeResultJson(JsonWriter &w, const SimResult &result);
+
+/** Render a whole batch: {"batch": name, "jobs": [...]} */
+std::string resultSetToJson(std::string_view batchName,
+                            const std::vector<SimResult> &results);
+
+/**
+ * Write the batch artifact to @p path (directories are created as
+ * needed).  @return the path written, for log messages.
+ */
+std::string writeArtifact(const std::string &path,
+                          std::string_view batchName,
+                          const std::vector<SimResult> &results);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_ARTIFACT_HH

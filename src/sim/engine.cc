@@ -1,0 +1,186 @@
+#include "sim/engine.hh"
+
+#include <exception>
+#include <thread>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+
+namespace risc1::sim {
+
+std::string_view
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::StepLimit:
+        return "stepLimit";
+      case JobStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+JobQueue::push(std::size_t index)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_)
+            panic("JobQueue: push after close");
+        items_.push_back(index);
+    }
+    cv_.notify_one();
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+JobQueue::pop(std::size_t &out)
+{
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return false;
+    out = items_.front();
+    items_.pop_front();
+    return true;
+}
+
+unsigned
+resolveWorkers(const BatchOptions &options)
+{
+    if (options.workers != 0)
+        return options.workers;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+namespace {
+
+void
+runRiscJob(const SimJob &job, SimResult &res)
+{
+    Machine machine(job.config);
+    if (job.base) {
+        machine.restore(*job.base);
+    } else {
+        const Program prog = assembleRisc(job.source);
+        res.codeBytes = prog.codeBytes();
+        machine.loadProgram(prog);
+    }
+
+    while (!machine.halted() && res.steps < job.maxSteps) {
+        machine.step();
+        ++res.steps;
+    }
+
+    res.checksum = machine.reg(1);
+    res.stats = machine.stats();
+    res.icache = machine.icacheStats();
+    res.dcache = machine.dcacheStats();
+    res.mem = machine.memory().stats();
+
+    if (!machine.halted()) {
+        res.status = JobStatus::StepLimit;
+        res.error = cat("program did not halt within ", job.maxSteps,
+                        " steps");
+    } else if (job.expected && res.checksum != *job.expected) {
+        res.status = JobStatus::Error;
+        res.error = cat("checksum ", res.checksum, " != expected ",
+                        *job.expected);
+    }
+}
+
+void
+runVaxJob(const SimJob &job, SimResult &res)
+{
+    if (job.base)
+        fatal("snapshot fork is only supported for RISC jobs");
+    const Program prog = assembleVax(job.source);
+    res.codeBytes = prog.codeBytes();
+    VaxMachine machine(job.vaxConfig);
+    machine.loadProgram(prog);
+
+    while (!machine.halted() && res.steps < job.maxSteps) {
+        machine.step();
+        ++res.steps;
+    }
+
+    res.checksum = machine.reg(0);
+    res.vaxStats = machine.stats();
+    res.mem = machine.memory().stats();
+
+    if (!machine.halted()) {
+        res.status = JobStatus::StepLimit;
+        res.error = cat("program did not halt within ", job.maxSteps,
+                        " steps");
+    } else if (job.expected && res.checksum != *job.expected) {
+        res.status = JobStatus::Error;
+        res.error = cat("checksum ", res.checksum, " != expected ",
+                        *job.expected);
+    }
+}
+
+} // namespace
+
+SimResult
+runJob(const SimJob &job, std::size_t index)
+{
+    SimResult res;
+    res.index = index;
+    res.id = job.id;
+    res.machine = job.machine;
+    try {
+        if (job.machine == SimMachine::Risc)
+            runRiscJob(job, res);
+        else
+            runVaxJob(job, res);
+    } catch (const std::exception &e) {
+        res.status = JobStatus::Error;
+        res.error = e.what();
+    }
+    return res;
+}
+
+std::vector<SimResult>
+runBatch(const std::vector<SimJob> &jobs, const BatchOptions &options)
+{
+    std::vector<SimResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    JobQueue queue;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        queue.push(i);
+    queue.close();
+
+    const unsigned workers =
+        std::min<std::size_t>(resolveWorkers(options), jobs.size());
+    auto drain = [&] {
+        std::size_t index;
+        while (queue.pop(index))
+            results[index] = runJob(jobs[index], index);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned i = 1; i < workers; ++i)
+        pool.emplace_back(drain);
+    drain(); // the calling thread is worker 0
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The thread-pooled batch-simulation engine.
+ *
+ * Threading model: a fixed-size worker pool drains a simple
+ * mutex-guarded MPMC queue of job indices (no work stealing, no
+ * sharding — one lock, one condition variable).  Every worker owns its
+ * Machine instances outright; the only shared mutable state is the
+ * queue and the pre-sized result vector, where worker i writes only
+ * results[job.index].  Results are therefore insertion-ordered and
+ * byte-for-byte deterministic regardless of worker count or
+ * interleaving — `runBatch(jobs, {1})` and `runBatch(jobs, {N})`
+ * render to identical artifacts.
+ */
+
+#ifndef RISC1_SIM_ENGINE_HH
+#define RISC1_SIM_ENGINE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sim/job.hh"
+
+namespace risc1::sim {
+
+/** Batch execution parameters. */
+struct BatchOptions
+{
+    /** Worker threads; 0 = hardware concurrency (at least 1). */
+    unsigned workers = 0;
+};
+
+/**
+ * A minimal blocking multi-producer/multi-consumer queue.
+ *
+ * Deliberately lock-based and work-stealing-free: simulation jobs run
+ * for milliseconds to seconds, so queue overhead is noise and the
+ * simplest correct structure wins.
+ */
+class JobQueue
+{
+  public:
+    /** Enqueue one job index; rejects pushes after close(). */
+    void push(std::size_t index);
+
+    /** No more pushes; unblocks every waiting pop(). */
+    void close();
+
+    /**
+     * Dequeue into @p out, blocking while the queue is open and empty.
+     * @return false once the queue is closed and drained.
+     */
+    bool pop(std::size_t &out);
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::size_t> items_;
+    bool closed_ = false;
+};
+
+/**
+ * Run one job to completion in the calling thread.  Never throws: any
+ * failure is captured in the returned result's status/error.
+ */
+SimResult runJob(const SimJob &job, std::size_t index);
+
+/**
+ * Run @p jobs on a worker pool and return one result per job, in
+ * submission order.  Per-job failures are captured in the results;
+ * the batch itself always completes.
+ */
+std::vector<SimResult> runBatch(const std::vector<SimJob> &jobs,
+                                const BatchOptions &options = {});
+
+/** The worker count @p options resolves to on this host. */
+unsigned resolveWorkers(const BatchOptions &options);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_ENGINE_HH

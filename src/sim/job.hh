@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Declarative job and result types for the batch-simulation engine.
+ *
+ * A SimJob names everything needed to run one simulation: the assembly
+ * source (or a pre-captured machine snapshot to fork from), the machine
+ * configuration, and a step budget.  The engine turns a vector of jobs
+ * into an equally long, insertion-ordered vector of SimResults; a job
+ * that fails (assembler error, runaway program, checksum mismatch,
+ * simulator fault) is captured in its result and never disturbs its
+ * batch mates.
+ */
+
+#ifndef RISC1_SIM_JOB_HH
+#define RISC1_SIM_JOB_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/machine.hh"
+#include "vax/vmachine.hh"
+
+namespace risc1::sim {
+
+/** Which simulator a job targets. */
+enum class SimMachine : std::uint8_t { Risc, Vax };
+
+/** One simulation to run. */
+struct SimJob
+{
+    /** Free-form identifier echoed into the result and artifacts. */
+    std::string id;
+
+    SimMachine machine = SimMachine::Risc;
+
+    /**
+     * Assembly source for the target machine.  Ignored when @ref base
+     * is set (the snapshot already contains the loaded program).
+     */
+    std::string source;
+
+    /** RISC I machine parameters (SimMachine::Risc jobs). */
+    MachineConfig config{};
+
+    /** Baseline machine parameters (SimMachine::Vax jobs). */
+    VaxConfig vaxConfig{};
+
+    /** Abort the job with JobStatus::StepLimit past this many steps. */
+    std::uint64_t maxSteps = 200'000'000;
+
+    /**
+     * Expected checksum (RISC: r1, CISC: r0).  A halted job whose
+     * checksum differs is reported as JobStatus::Error.
+     */
+    std::optional<std::uint32_t> expected;
+
+    /**
+     * Warm-start fork point (RISC jobs only): instead of assembling
+     * @ref source into a fresh machine, the worker restores this
+     * snapshot into a machine built from @ref config and continues
+     * from there.  The snapshot must be geometry-compatible with
+     * @ref config (see Machine::restore); caches may differ freely,
+     * which is the point — one executed prologue, many sweep points.
+     */
+    std::shared_ptr<const MachineSnapshot> base;
+};
+
+/** How a job ended. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,        ///< program halted (and matched `expected`, if set)
+    StepLimit, ///< still running at maxSteps
+    Error,     ///< assembler/simulator fault or checksum mismatch
+};
+
+/** @return "ok" / "stepLimit" / "error". */
+std::string_view jobStatusName(JobStatus status);
+
+/** Everything collected from one finished (or failed) job. */
+struct SimResult
+{
+    std::size_t index = 0;  ///< position in the submitted job vector
+    std::string id;
+    SimMachine machine = SimMachine::Risc;
+    JobStatus status = JobStatus::Ok;
+    std::string error;      ///< non-empty unless status == Ok
+
+    std::uint64_t steps = 0;
+    std::uint32_t checksum = 0;
+    std::uint64_t codeBytes = 0;  ///< 0 for snapshot-forked jobs
+
+    // RISC results.
+    RunStats stats;
+    CacheStats icache;
+    CacheStats dcache;
+
+    // Baseline results.
+    VaxStats vaxStats;
+
+    MemoryStats mem;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_JOB_HH

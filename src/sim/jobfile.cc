@@ -1,0 +1,215 @@
+#include "sim/jobfile.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1::sim {
+
+namespace {
+
+/** One `key = value` line of a [job] section. */
+struct RawEntry
+{
+    std::string key, value;
+    int line = 0;
+};
+
+/** Raw key/value lines of one [job] section, pre-materialization. */
+struct RawJob
+{
+    int line = 0; ///< line of the [job] header, for section-level messages
+    std::vector<RawEntry> entries;
+};
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t");
+    return s.substr(first, last - first + 1);
+}
+
+std::uint64_t
+parseUint(const std::string &value, int line, const std::string &key)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(value, &pos, 0);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        fatal(cat("job file line ", line, ": bad number '", value,
+                  "' for key '", key, "'"));
+    }
+}
+
+bool
+parseBool(const std::string &value, int line, const std::string &key)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    fatal(cat("job file line ", line, ": bad boolean '", value,
+              "' for key '", key, "'"));
+}
+
+CacheConfig
+parseCache(const std::string &value, int line, const std::string &key)
+{
+    std::istringstream in(value);
+    std::string part;
+    std::vector<std::uint64_t> nums;
+    while (std::getline(in, part, ','))
+        nums.push_back(parseUint(trim(part), line, key));
+    if (nums.size() != 3)
+        fatal(cat("job file line ", line, ": '", key,
+                  "' needs size,line,missPenalty"));
+    CacheConfig cfg;
+    cfg.sizeBytes = static_cast<std::uint32_t>(nums[0]);
+    cfg.lineBytes = static_cast<std::uint32_t>(nums[1]);
+    cfg.missPenaltyCycles = static_cast<unsigned>(nums[2]);
+    return cfg;
+}
+
+SimJob
+materialize(const RawJob &raw, std::size_t jobIndex,
+            const std::string &baseDir)
+{
+    SimJob job;
+    job.id = cat("job", jobIndex);
+
+    // The machine kind decides which source a workload contributes, so
+    // resolve it first regardless of key order.
+    std::string workload, file;
+    for (const auto &[key, value, line] : raw.entries) {
+        if (key == "machine") {
+            if (value == "risc")
+                job.machine = SimMachine::Risc;
+            else if (value == "cisc" || value == "vax")
+                job.machine = SimMachine::Vax;
+            else
+                fatal(cat("job file line ", line,
+                          ": unknown machine '", value, "'"));
+        }
+    }
+
+    for (const auto &[key, value, line] : raw.entries) {
+        if (key == "machine") {
+            // handled above
+        } else if (key == "id") {
+            job.id = value;
+        } else if (key == "workload") {
+            workload = value;
+        } else if (key == "file") {
+            file = value;
+        } else if (key == "windows") {
+            job.config.windows.numWindows = static_cast<unsigned>(
+                parseUint(value, line, key));
+        } else if (key == "windowed") {
+            job.config.windowedCalls = parseBool(value, line, key);
+        } else if (key == "icache") {
+            job.config.icache = parseCache(value, line, key);
+        } else if (key == "dcache") {
+            job.config.dcache = parseCache(value, line, key);
+        } else if (key == "maxsteps") {
+            job.maxSteps = parseUint(value, line, key);
+        } else if (key == "expect") {
+            job.expected = static_cast<std::uint32_t>(
+                parseUint(value, line, key));
+        } else {
+            fatal(cat("job file line ", line, ": unknown key '", key,
+                      "'"));
+        }
+    }
+
+    if (workload.empty() == file.empty())
+        fatal(cat("job file line ", raw.line,
+                  ": each [job] needs exactly one of 'workload' or "
+                  "'file'"));
+
+    if (!workload.empty()) {
+        const Workload &w = findWorkload(workload);
+        job.source = job.machine == SimMachine::Risc ? w.riscSource
+                                                     : w.vaxSource;
+        if (!job.expected)
+            job.expected = w.expected;
+    } else {
+        std::filesystem::path p(file);
+        if (p.is_relative() && !baseDir.empty())
+            p = std::filesystem::path(baseDir) / p;
+        std::ifstream in(p);
+        if (!in)
+            fatal(cat("job file line ", raw.line,
+                      ": cannot open assembly file ", p.string()));
+        std::ostringstream text;
+        text << in.rdbuf();
+        job.source = text.str();
+    }
+    return job;
+}
+
+} // namespace
+
+std::vector<SimJob>
+parseJobText(const std::string &text, const std::string &baseDir)
+{
+    std::vector<RawJob> raws;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line == "[job]") {
+            raws.push_back(RawJob{lineNo, {}});
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(cat("job file line ", lineNo,
+                      ": expected '[job]' or 'key = value', got '", line,
+                      "'"));
+        if (raws.empty())
+            fatal(cat("job file line ", lineNo,
+                      ": key/value before the first [job] section"));
+        raws.back().entries.push_back(RawEntry{trim(line.substr(0, eq)),
+                                               trim(line.substr(eq + 1)),
+                                               lineNo});
+    }
+
+    if (raws.empty())
+        fatal("job file contains no [job] sections");
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(raws.size());
+    for (std::size_t i = 0; i < raws.size(); ++i)
+        jobs.push_back(materialize(raws[i], i, baseDir));
+    return jobs;
+}
+
+std::vector<SimJob>
+loadJobFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(cat("cannot open job file ", path));
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    return parseJobText(text.str(), dir);
+}
+
+} // namespace risc1::sim

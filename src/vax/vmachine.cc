@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "common/bitfield.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace risc1 {
+
+void
+VaxStats::writeJson(JsonWriter &w) const
+{
+    static constexpr std::string_view classNames[] = {
+        "move", "alu", "branch", "loop", "callret", "misc"};
+    w.beginObject()
+        .field("cycles", cycles)
+        .field("instructions", instructions);
+    w.key("perClass").beginObject();
+    for (std::size_t i = 0; i < perClass.size(); ++i)
+        w.field(classNames[i], perClass[i]);
+    w.endObject();
+    w.field("branchesTaken", branchesTaken)
+        .field("branchesUntaken", branchesUntaken)
+        .field("calls", calls)
+        .field("returns", returns)
+        .field("callDepth", callDepth)
+        .field("maxCallDepth", maxCallDepth)
+        .field("memOperandReads", memOperandReads)
+        .field("memOperandWrites", memOperandWrites)
+        .field("regOperandReads", regOperandReads)
+        .field("regOperandWrites", regOperandWrites)
+        .field("instrBytes", instrBytes)
+        .endObject();
+}
 
 VaxMachine::VaxMachine(const VaxConfig &config)
     : config_(config), mem_(config.memorySize)

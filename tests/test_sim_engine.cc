@@ -1,0 +1,274 @@
+/** Tests for the parallel batch-simulation engine (src/sim/). */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/artifact.hh"
+#include "sim/engine.hh"
+#include "sim/jobfile.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+using sim::JobStatus;
+using sim::SimJob;
+using sim::SimMachine;
+
+std::string
+statsJson(const RunStats &stats)
+{
+    JsonWriter w;
+    stats.writeJson(w);
+    return w.str();
+}
+
+/** A mixed job set exercising both machines and several configs. */
+std::vector<SimJob>
+mixedJobs()
+{
+    std::vector<SimJob> jobs;
+    for (const char *id : {"fib_rec", "sieve", "hanoi"}) {
+        const Workload &w = findWorkload(id);
+
+        SimJob plain;
+        plain.id = std::string(id) + "/risc";
+        plain.source = w.riscSource;
+        plain.expected = w.expected;
+        jobs.push_back(std::move(plain));
+
+        SimJob gold;
+        gold.id = std::string(id) + "/gold";
+        gold.source = w.riscSource;
+        gold.config.windows = WindowConfig::gold();
+        gold.expected = w.expected;
+        jobs.push_back(std::move(gold));
+
+        SimJob cached;
+        cached.id = std::string(id) + "/icache";
+        cached.source = w.riscSource;
+        cached.config.icache = CacheConfig{256, 16, 4};
+        cached.expected = w.expected;
+        jobs.push_back(std::move(cached));
+
+        SimJob vax;
+        vax.id = std::string(id) + "/cisc";
+        vax.machine = SimMachine::Vax;
+        vax.source = w.vaxSource;
+        vax.expected = w.expected;
+        jobs.push_back(std::move(vax));
+    }
+    return jobs;
+}
+
+TEST(SimEngine, ResultsAreInsertionOrdered)
+{
+    const auto jobs = mixedJobs();
+    const auto results = sim::runBatch(jobs, {4});
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].id, jobs[i].id);
+        EXPECT_EQ(results[i].status, JobStatus::Ok) << results[i].error;
+    }
+}
+
+TEST(SimEngine, DeterministicAcrossWorkerCounts)
+{
+    // The engine's core contract (and the reason the ported benches
+    // can trust it): worker count must not leak into the results.
+    const auto jobs = mixedJobs();
+    const auto one = sim::runBatch(jobs, {1});
+    const auto four = sim::runBatch(jobs, {4});
+    const auto seven = sim::runBatch(jobs, {7});
+    EXPECT_EQ(sim::resultSetToJson("t", one),
+              sim::resultSetToJson("t", four));
+    EXPECT_EQ(sim::resultSetToJson("t", one),
+              sim::resultSetToJson("t", seven));
+}
+
+TEST(SimEngine, MatchesDirectWorkloadRun)
+{
+    const Workload &w = findWorkload("fib_rec");
+    const RiscRun direct = runRiscWorkload(w);
+
+    SimJob job;
+    job.id = "fib";
+    job.source = w.riscSource;
+    job.expected = w.expected;
+    const auto results = sim::runBatch({job}, {2});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok) << results[0].error;
+    EXPECT_EQ(statsJson(results[0].stats), statsJson(direct.stats));
+    EXPECT_EQ(results[0].checksum, w.expected);
+    EXPECT_EQ(results[0].codeBytes, direct.codeBytes);
+}
+
+TEST(SimEngine, PerJobFailuresDoNotPoisonTheBatch)
+{
+    std::vector<SimJob> jobs(3);
+
+    jobs[0].id = "bad-assembly";
+    jobs[0].source = "this is not assembly !!!";
+
+    jobs[1].id = "runaway";
+    jobs[1].source = R"(
+start:  clr   r1
+loop:   inc   r1
+        bra   loop
+        nop
+        halt
+)";
+    jobs[1].maxSteps = 100;
+
+    const Workload &w = findWorkload("sieve");
+    jobs[2].id = "good";
+    jobs[2].source = w.riscSource;
+    jobs[2].expected = w.expected;
+
+    const auto results = sim::runBatch(jobs, {3});
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_EQ(results[0].status, JobStatus::Error);
+    EXPECT_FALSE(results[0].error.empty());
+
+    EXPECT_EQ(results[1].status, JobStatus::StepLimit);
+    EXPECT_EQ(results[1].steps, 100u);
+    EXPECT_GT(results[1].stats.instructions, 0u);
+
+    EXPECT_EQ(results[2].status, JobStatus::Ok) << results[2].error;
+    EXPECT_EQ(results[2].checksum, w.expected);
+}
+
+TEST(SimEngine, ChecksumMismatchIsAnError)
+{
+    const Workload &w = findWorkload("sieve");
+    SimJob job;
+    job.id = "wrong-checksum";
+    job.source = w.riscSource;
+    job.expected = w.expected + 1;
+    const auto results = sim::runBatch({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Error);
+    EXPECT_NE(results[0].error.find("checksum"), std::string::npos);
+}
+
+TEST(SimEngine, SnapshotForkMatchesFreshRun)
+{
+    const Workload &w = findWorkload("fib_rec");
+
+    SimJob fresh;
+    fresh.id = "fresh";
+    fresh.source = w.riscSource;
+    fresh.expected = w.expected;
+
+    Machine loaded;
+    loaded.loadProgram(assembleRisc(w.riscSource));
+    SimJob forked;
+    forked.id = "forked";
+    forked.base =
+        std::make_shared<const MachineSnapshot>(loaded.snapshot());
+    forked.expected = w.expected;
+
+    // Fork the same prologue onto a cache-equipped sweep point too.
+    SimJob forkedCached = forked;
+    forkedCached.id = "forked-icache";
+    forkedCached.config.icache = CacheConfig{512, 16, 4};
+
+    const auto results =
+        sim::runBatch({fresh, forked, forkedCached}, {2});
+    for (const auto &r : results)
+        ASSERT_EQ(r.status, JobStatus::Ok) << r.id << ": " << r.error;
+
+    // Architectural results agree everywhere; the cached fork only
+    // adds i-cache miss cycles.
+    EXPECT_EQ(statsJson(results[0].stats), statsJson(results[1].stats));
+    EXPECT_EQ(results[2].checksum, w.expected);
+    EXPECT_EQ(results[2].stats.instructions,
+              results[0].stats.instructions);
+    EXPECT_GT(results[2].icache.accesses(), 0u);
+}
+
+TEST(SimEngine, VaxSnapshotForkIsRejected)
+{
+    Machine loaded;
+    SimJob job;
+    job.id = "vax-fork";
+    job.machine = SimMachine::Vax;
+    job.base = std::make_shared<const MachineSnapshot>(loaded.snapshot());
+    const auto results = sim::runBatch({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Error);
+}
+
+TEST(SimEngine, ArtifactRendersAllJobs)
+{
+    const auto jobs = mixedJobs();
+    const auto results = sim::runBatch(jobs);
+    const std::string json = sim::resultSetToJson("unit", results);
+    EXPECT_NE(json.find("\"batch\": \"unit\""), std::string::npos);
+    for (const auto &job : jobs)
+        EXPECT_NE(json.find("\"" + job.id + "\""), std::string::npos);
+    // Spot-check one structured field name from each stats block.
+    EXPECT_NE(json.find("\"windowOverflows\""), std::string::npos);
+    EXPECT_NE(json.find("\"memOperandReads\""), std::string::npos);
+}
+
+TEST(JobFile, ParsesSectionsKeysAndDefaults)
+{
+    const auto jobs = sim::parseJobText(R"(
+# top comment
+[job]
+id       = a
+workload = fib_rec
+windows  = 6
+
+[job]
+workload = sieve     # id defaults to job1
+machine  = cisc
+
+[job]
+id       = c
+workload = hanoi
+windowed = false
+icache   = 1024,16,4
+maxsteps = 12345
+expect   = 7
+)");
+    ASSERT_EQ(jobs.size(), 3u);
+
+    EXPECT_EQ(jobs[0].id, "a");
+    EXPECT_EQ(jobs[0].config.windows.numWindows, 6u);
+    EXPECT_EQ(jobs[0].expected, findWorkload("fib_rec").expected);
+
+    EXPECT_EQ(jobs[1].id, "job1");
+    EXPECT_EQ(jobs[1].machine, SimMachine::Vax);
+    EXPECT_EQ(jobs[1].expected, findWorkload("sieve").expected);
+
+    EXPECT_EQ(jobs[2].id, "c");
+    EXPECT_FALSE(jobs[2].config.windowedCalls);
+    ASSERT_TRUE(jobs[2].config.icache.has_value());
+    EXPECT_EQ(jobs[2].config.icache->sizeBytes, 1024u);
+    EXPECT_EQ(jobs[2].maxSteps, 12345u);
+    EXPECT_EQ(jobs[2].expected, 7u);
+}
+
+TEST(JobFile, RejectsMalformedInput)
+{
+    EXPECT_THROW(sim::parseJobText(""), FatalError);
+    EXPECT_THROW(sim::parseJobText("key = value\n"), FatalError);
+    EXPECT_THROW(sim::parseJobText("[job]\nworkload = fib_rec\n"
+                                   "file = x.s\n"),
+                 FatalError);
+    EXPECT_THROW(sim::parseJobText("[job]\nnope = 1\n"), FatalError);
+    EXPECT_THROW(sim::parseJobText("[job]\nworkload = fib_rec\n"
+                                   "windows = banana\n"),
+                 FatalError);
+    EXPECT_THROW(sim::parseJobText("[job]\nworkload = no_such\n"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace risc1
