@@ -26,4 +26,19 @@ for bench in table_window_configs table_execution_time fig_icache_sweep; do
     }
 done
 
+echo
+echo "== bench smoke: dispatch fast path =="
+(cd "$BUILD" && ./bench/bench_dispatch --benchmark_min_time=0.01 > /dev/null)
+test -s "$BUILD/bench/out/BENCH_dispatch.json" || {
+    echo "missing artifact: $BUILD/bench/out/BENCH_dispatch.json" >&2
+    exit 1
+}
+
+echo
+echo "== sanitizer pass: ASan + UBSan =="
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . -DSANITIZE=ON
+cmake --build "$ASAN_BUILD" -j
+(cd "$ASAN_BUILD" && ctest --output-on-failure -j)
+
 echo "check.sh: all green"

@@ -92,12 +92,26 @@ Machine::readS2(const Instruction &inst)
                     : regs_.read(inst.rs2);
 }
 
-Machine::AluResult
-Machine::executeAlu(const Instruction &inst, std::uint32_t a,
-                    std::uint32_t b) const
+namespace {
+
+/** Value + condition codes one ALU operation produces. */
+struct AluOut
 {
-    AluResult res{0, {}};
-    const std::uint64_t cin = psw_.cc.c ? 1 : 0;
+    std::uint32_t value = 0;
+    CondCodes cc;
+};
+
+/**
+ * The single source of truth for ALU semantics, shared between the
+ * reference interpreter's runtime switch (executeAlu) and the fast
+ * path's per-opcode handlers, which instantiate it at compile time.
+ */
+template <Opcode OP>
+inline AluOut
+aluCore(const Instruction &inst, std::uint32_t a, std::uint32_t b,
+        std::uint64_t cin)
+{
+    AluOut res;
 
     auto addFlags = [&](std::uint64_t wide, std::uint32_t x,
                         std::uint32_t y) {
@@ -115,54 +129,94 @@ Machine::executeAlu(const Instruction &inst, std::uint32_t a,
         res.cc.v = (((x ^ y) & (x ^ res.value)) >> 31) != 0;
     };
 
-    switch (inst.op) {
-      case Opcode::Add:
+    if constexpr (OP == Opcode::Add)
         addFlags(static_cast<std::uint64_t>(a) + b, a, b);
-        break;
-      case Opcode::Addc:
+    else if constexpr (OP == Opcode::Addc)
         addFlags(static_cast<std::uint64_t>(a) + b + cin, a, b);
-        break;
-      case Opcode::Sub:
+    else if constexpr (OP == Opcode::Sub)
         subFlags(a, b, 0);
-        break;
-      case Opcode::Subc:
+    else if constexpr (OP == Opcode::Subc)
         subFlags(a, b, cin);
-        break;
-      case Opcode::Subr:
+    else if constexpr (OP == Opcode::Subr)
         subFlags(b, a, 0);
-        break;
-      case Opcode::Subcr:
+    else if constexpr (OP == Opcode::Subcr)
         subFlags(b, a, cin);
-        break;
-      case Opcode::And:
+    else if constexpr (OP == Opcode::And)
         res.value = a & b;
-        break;
-      case Opcode::Or:
+    else if constexpr (OP == Opcode::Or)
         res.value = a | b;
-        break;
-      case Opcode::Xor:
+    else if constexpr (OP == Opcode::Xor)
         res.value = a ^ b;
-        break;
-      case Opcode::Sll:
+    else if constexpr (OP == Opcode::Sll)
         res.value = a << (b & 31);
-        break;
-      case Opcode::Srl:
+    else if constexpr (OP == Opcode::Srl)
         res.value = a >> (b & 31);
-        break;
-      case Opcode::Sra:
+    else if constexpr (OP == Opcode::Sra)
         res.value = static_cast<std::uint32_t>(
             static_cast<std::int32_t>(a) >> (b & 31));
+    else if constexpr (OP == Opcode::Ldhi)
+        res.value = static_cast<std::uint32_t>(inst.imm19) << 13;
+    else
+        static_assert(OP == Opcode::Add, "non-ALU opcode");
+
+    res.cc.z = res.value == 0;
+    res.cc.n = (res.value >> 31) != 0;
+    return res;
+}
+
+} // namespace
+
+Machine::AluResult
+Machine::executeAlu(const Instruction &inst, std::uint32_t a,
+                    std::uint32_t b) const
+{
+    const std::uint64_t cin = psw_.cc.c ? 1 : 0;
+    AluOut out;
+    switch (inst.op) {
+      case Opcode::Add:
+        out = aluCore<Opcode::Add>(inst, a, b, cin);
+        break;
+      case Opcode::Addc:
+        out = aluCore<Opcode::Addc>(inst, a, b, cin);
+        break;
+      case Opcode::Sub:
+        out = aluCore<Opcode::Sub>(inst, a, b, cin);
+        break;
+      case Opcode::Subc:
+        out = aluCore<Opcode::Subc>(inst, a, b, cin);
+        break;
+      case Opcode::Subr:
+        out = aluCore<Opcode::Subr>(inst, a, b, cin);
+        break;
+      case Opcode::Subcr:
+        out = aluCore<Opcode::Subcr>(inst, a, b, cin);
+        break;
+      case Opcode::And:
+        out = aluCore<Opcode::And>(inst, a, b, cin);
+        break;
+      case Opcode::Or:
+        out = aluCore<Opcode::Or>(inst, a, b, cin);
+        break;
+      case Opcode::Xor:
+        out = aluCore<Opcode::Xor>(inst, a, b, cin);
+        break;
+      case Opcode::Sll:
+        out = aluCore<Opcode::Sll>(inst, a, b, cin);
+        break;
+      case Opcode::Srl:
+        out = aluCore<Opcode::Srl>(inst, a, b, cin);
+        break;
+      case Opcode::Sra:
+        out = aluCore<Opcode::Sra>(inst, a, b, cin);
         break;
       case Opcode::Ldhi:
-        res.value = static_cast<std::uint32_t>(inst.imm19) << 13;
+        out = aluCore<Opcode::Ldhi>(inst, a, b, cin);
         break;
       default:
         panic(cat("executeAlu called for non-ALU opcode ",
                   static_cast<int>(inst.op)));
     }
-    res.cc.z = res.value == 0;
-    res.cc.n = (res.value >> 31) != 0;
-    return res;
+    return AluResult{out.value, out.cc};
 }
 
 void
@@ -305,11 +359,19 @@ Machine::doReturn(std::uint32_t target, bool isInterrupt)
         (regs_.cwp() + resident_) % config_.windows.numWindows);
 }
 
+namespace {
+
+/**
+ * Register-operand traffic one instruction contributes to the
+ * operand-locality counters; shared by the reference interpreter
+ * (countOperandRegs) and the predecoder, which caches the result.
+ */
 void
-Machine::countOperandRegs(const Instruction &inst)
+operandCounts(const Instruction &inst, const OpcodeInfo *info,
+              unsigned &reads, unsigned &writes)
 {
-    const OpcodeInfo *info = opcodeInfo(inst.op);
-    unsigned reads = 0, writes = 0;
+    reads = 0;
+    writes = 0;
     switch (info->cls) {
       case InstClass::Alu:
         if (inst.op == Opcode::Ldhi) {
@@ -344,6 +406,16 @@ Machine::countOperandRegs(const Instruction &inst)
             writes = 1;
         break;
     }
+}
+
+} // namespace
+
+void
+Machine::countOperandRegs(const Instruction &inst)
+{
+    const OpcodeInfo *info = opcodeInfo(inst.op);
+    unsigned reads = 0, writes = 0;
+    operandCounts(inst, info, reads, writes);
     stats_.regOperandReads += reads;
     stats_.regOperandWrites += writes;
 }
@@ -484,12 +556,9 @@ Machine::raiseInterrupt(std::uint32_t vector)
     interruptVector_ = vector;
 }
 
-bool
-Machine::step()
+void
+Machine::maybeAcceptInterrupt()
 {
-    if (halted_)
-        return false;
-
     // Accept a pending interrupt at a sequential boundary only (no
     // taken transfer in flight), mirroring CALLINT entry.
     if (interruptPending_ && psw_.intEnable && npc_ == pc_ + 4) {
@@ -515,6 +584,15 @@ Machine::step()
         inDelaySlot_ = false; // the handler entry is not a slot
         stats_.cycles += config_.timing.trapOverheadCycles;
     }
+}
+
+bool
+Machine::step()
+{
+    if (halted_)
+        return false;
+
+    maybeAcceptInterrupt();
 
     if (icache_ && !icache_->access(pc_))
         stats_.cycles += config_.icache->missPenaltyCycles;
@@ -555,6 +633,287 @@ Machine::step()
                     info->cls == InstClass::CallRet) &&
                    inst.op != Opcode::Calli;
     return true;
+}
+
+/**
+ * Fast-path opcode handlers: one monomorphic function per opcode,
+ * resolved once at predecode time and dispatched through a function
+ * pointer.  Each handler mirrors the corresponding execute() case
+ * exactly — same access order, same counters, same fault points — so
+ * the two paths stay bit-for-bit equivalent (tests/test_fast_path.cc
+ * and tests/test_fuzz_exec.cc enforce this).
+ */
+struct FastOps
+{
+    static std::uint32_t
+    s2(Machine &m, const Instruction &inst)
+    {
+        return inst.imm ? static_cast<std::uint32_t>(inst.simm13)
+                        : m.regs_.read(inst.rs2);
+    }
+
+    template <Opcode OP>
+    static void
+    alu(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        std::uint32_t a = 0, b = 0;
+        if constexpr (OP != Opcode::Ldhi) {
+            a = m.regs_.read(inst.rs1);
+            b = s2(m, inst);
+        }
+        const AluOut res = aluCore<OP>(inst, a, b, m.psw_.cc.c ? 1 : 0);
+        m.regs_.write(inst.rd, res.value);
+        if (inst.scc)
+            m.psw_.cc = res.cc;
+        m.stats_.cycles += m.config_.timing.aluCycles;
+    }
+
+    template <Opcode OP>
+    static void
+    load(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        const std::uint32_t addr = m.regs_.read(inst.rs1) + s2(m, inst);
+        if (m.dcache_ && !m.dcache_->access(addr))
+            m.stats_.cycles += m.config_.dcache->missPenaltyCycles;
+        std::uint32_t value = 0;
+        if constexpr (OP == Opcode::Ldl)
+            value = m.mem_.readWord(addr);
+        else if constexpr (OP == Opcode::Ldsu)
+            value = m.mem_.readHalf(addr);
+        else if constexpr (OP == Opcode::Ldss)
+            value = static_cast<std::uint32_t>(
+                sext(m.mem_.readHalf(addr), 16));
+        else if constexpr (OP == Opcode::Ldbu)
+            value = m.mem_.readByte(addr);
+        else
+            value = static_cast<std::uint32_t>(
+                sext(m.mem_.readByte(addr), 8));
+        m.regs_.write(inst.rd, value);
+        ++m.stats_.loadCount;
+        m.stats_.cycles += m.config_.timing.loadCycles;
+    }
+
+    template <Opcode OP>
+    static void
+    store(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        const std::uint32_t addr = m.regs_.read(inst.rs1) + s2(m, inst);
+        if (m.dcache_ && !m.dcache_->access(addr))
+            m.stats_.cycles += m.config_.dcache->missPenaltyCycles;
+        const std::uint32_t data = m.regs_.read(inst.rd);
+        if constexpr (OP == Opcode::Stl)
+            m.mem_.writeWord(addr, data);
+        else if constexpr (OP == Opcode::Sts)
+            m.mem_.writeHalf(addr, static_cast<std::uint16_t>(data));
+        else
+            m.mem_.writeByte(addr, static_cast<std::uint8_t>(data));
+        ++m.stats_.storeCount;
+        m.stats_.cycles += m.config_.timing.storeCycles;
+    }
+
+    template <Opcode OP>
+    static void
+    jump(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        std::uint32_t target;
+        if constexpr (OP == Opcode::Jmpr)
+            target = m.pc_ + static_cast<std::uint32_t>(inst.imm19);
+        else
+            target = m.regs_.read(inst.rs1) + s2(m, inst);
+        if (condHolds(inst.cond(), m.psw_.cc))
+            m.transferTo(target, true);
+        else
+            ++m.stats_.untakenJumps;
+        m.stats_.cycles += m.config_.timing.jumpCycles;
+    }
+
+    template <Opcode OP>
+    static void
+    callRet(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        if constexpr (OP == Opcode::Call) {
+            m.doCall(m.regs_.read(inst.rs1) + s2(m, inst), inst.rd,
+                     false);
+            m.stats_.cycles += m.config_.timing.callCycles;
+        } else if constexpr (OP == Opcode::Callr) {
+            m.doCall(m.pc_ + static_cast<std::uint32_t>(inst.imm19),
+                     inst.rd, false);
+            m.stats_.cycles += m.config_.timing.callCycles;
+        } else if constexpr (OP == Opcode::Calli) {
+            m.doCall(0, inst.rd, true);
+            m.stats_.cycles += m.config_.timing.callCycles;
+        } else if constexpr (OP == Opcode::Ret) {
+            m.doReturn(m.regs_.read(inst.rs1) + s2(m, inst), false);
+            m.stats_.cycles += m.config_.timing.retCycles;
+        } else {
+            m.doReturn(m.regs_.read(inst.rs1) + s2(m, inst), true);
+            m.stats_.cycles += m.config_.timing.retCycles;
+        }
+    }
+
+    template <Opcode OP>
+    static void
+    special(Machine &m, const DecodedInst &d)
+    {
+        const Instruction &inst = d.inst;
+        if constexpr (OP == Opcode::Gtlpc)
+            m.regs_.write(inst.rd, m.lastPc_);
+        else if constexpr (OP == Opcode::Getpsw)
+            m.regs_.write(inst.rd, m.psw_.pack());
+        else
+            m.psw_.unpackUserBits(m.regs_.read(inst.rs1));
+        m.stats_.cycles += m.config_.timing.specialCycles;
+    }
+
+    /** Resolve the fast handler for a (legal) opcode. */
+    static void (*resolve(Opcode op))(Machine &, const DecodedInst &)
+    {
+        switch (op) {
+          case Opcode::Add:    return &alu<Opcode::Add>;
+          case Opcode::Addc:   return &alu<Opcode::Addc>;
+          case Opcode::Sub:    return &alu<Opcode::Sub>;
+          case Opcode::Subc:   return &alu<Opcode::Subc>;
+          case Opcode::Subr:   return &alu<Opcode::Subr>;
+          case Opcode::Subcr:  return &alu<Opcode::Subcr>;
+          case Opcode::And:    return &alu<Opcode::And>;
+          case Opcode::Or:     return &alu<Opcode::Or>;
+          case Opcode::Xor:    return &alu<Opcode::Xor>;
+          case Opcode::Sll:    return &alu<Opcode::Sll>;
+          case Opcode::Srl:    return &alu<Opcode::Srl>;
+          case Opcode::Sra:    return &alu<Opcode::Sra>;
+          case Opcode::Ldhi:   return &alu<Opcode::Ldhi>;
+          case Opcode::Ldl:    return &load<Opcode::Ldl>;
+          case Opcode::Ldsu:   return &load<Opcode::Ldsu>;
+          case Opcode::Ldss:   return &load<Opcode::Ldss>;
+          case Opcode::Ldbu:   return &load<Opcode::Ldbu>;
+          case Opcode::Ldbs:   return &load<Opcode::Ldbs>;
+          case Opcode::Stl:    return &store<Opcode::Stl>;
+          case Opcode::Sts:    return &store<Opcode::Sts>;
+          case Opcode::Stb:    return &store<Opcode::Stb>;
+          case Opcode::Jmp:    return &jump<Opcode::Jmp>;
+          case Opcode::Jmpr:   return &jump<Opcode::Jmpr>;
+          case Opcode::Call:   return &callRet<Opcode::Call>;
+          case Opcode::Callr:  return &callRet<Opcode::Callr>;
+          case Opcode::Calli:  return &callRet<Opcode::Calli>;
+          case Opcode::Ret:    return &callRet<Opcode::Ret>;
+          case Opcode::Reti:   return &callRet<Opcode::Reti>;
+          case Opcode::Gtlpc:  return &special<Opcode::Gtlpc>;
+          case Opcode::Getpsw: return &special<Opcode::Getpsw>;
+          case Opcode::Putpsw: return &special<Opcode::Putpsw>;
+        }
+        panic(cat("no fast handler for opcode ", static_cast<int>(op)));
+    }
+};
+
+DecodedInst
+Machine::predecodeWord(std::uint32_t word)
+{
+    DecodedInst d;
+    d.inst = Instruction::decode(word); // throws the decoder's fault
+    d.info = opcodeInfo(d.inst.op);
+    d.nop = isNop(d.inst);
+    d.hasDelaySlot = (d.info->cls == InstClass::Jump ||
+                      d.info->cls == InstClass::CallRet) &&
+                     d.inst.op != Opcode::Calli;
+    unsigned reads = 0, writes = 0;
+    operandCounts(d.inst, d.info, reads, writes);
+    d.regReads = static_cast<std::uint8_t>(reads);
+    d.regWrites = static_cast<std::uint8_t>(writes);
+    d.exec = FastOps::resolve(d.inst.op);
+    return d;
+}
+
+RunOutcome
+Machine::runFast(std::uint64_t maxSteps)
+{
+    RunOutcome outcome;
+
+    // A trace hook must observe every instruction in decode order;
+    // fall back to the reference interpreter so hook semantics (and
+    // everything else) are unchanged.
+    if (traceHook_) {
+        while (!halted_ && outcome.steps < maxSteps) {
+            step();
+            ++outcome.steps;
+        }
+        outcome.halted = halted_;
+        return outcome;
+    }
+
+    if (predecode_.size() != mem_.numPages())
+        predecode_.resize(mem_.numPages());
+
+    while (!halted_ && outcome.steps < maxSteps) {
+        maybeAcceptInterrupt();
+
+        const std::uint32_t pc = pc_;
+        if (icache_ && !icache_->access(pc))
+            stats_.cycles += config_.icache->missPenaltyCycles;
+
+        // A misaligned or out-of-range PC raises the reference
+        // interpreter's exact fetch fault (fetchWord throws before it
+        // counts, so the statistics stay aligned too).
+        if ((pc & 3u) != 0 ||
+            static_cast<std::uint64_t>(pc) + 4 > mem_.size())
+            (void)mem_.fetchWord(pc);
+
+        const std::size_t pageIdx = pc / Memory::pageBytes;
+        PredecodePage &page = predecode_[pageIdx];
+        if (page.entries.empty())
+            page.entries.resize(Memory::pageBytes / 4);
+        PredecodeEntry &e =
+            page.entries[(pc & (Memory::pageBytes - 1)) >> 2];
+        const std::uint64_t memGen =
+            mem_.lineGen(pc / Memory::genLineBytes);
+        if (e.gen == memGen) {
+            // Clean hit: the page is unwritten since this slot was
+            // validated.  Count the fetch step() would have done.
+            mem_.countFetch();
+        } else {
+            // The page was written (data and code often share pages)
+            // or the slot was never filled: re-fetch and revalidate.
+            // An unchanged word keeps its decode; only a genuinely
+            // new word pays for a fresh predecode.
+            const std::uint32_t word = mem_.fetchWord(pc);
+            if (e.gen == ~0ull || e.word != word)
+                e.d = predecodeWord(word);
+            e.word = word;
+            e.gen = memGen;
+        }
+        const DecodedInst &d = e.d;
+
+        ++stats_.instructions;
+        ++stats_.perOpcode[static_cast<std::uint8_t>(d.inst.op)];
+        ++stats_.perClass[static_cast<std::size_t>(d.info->cls)];
+
+        if (inDelaySlot_) {
+            ++stats_.delaySlotsExecuted;
+            if (d.nop)
+                ++stats_.delaySlotNops;
+        }
+
+        stats_.regOperandReads += d.regReads;
+        stats_.regOperandWrites += d.regWrites;
+
+        hasNpcOverride_ = false;
+        d.exec(*this, d);
+
+        lastPc_ = pc;
+        ++outcome.steps;
+        if (halted_)
+            break;
+
+        pc_ = npc_;
+        npc_ = hasNpcOverride_ ? npcOverride_ : npc_ + 4;
+        inDelaySlot_ = d.hasDelaySlot;
+    }
+    outcome.halted = halted_;
+    return outcome;
 }
 
 MachineSnapshot

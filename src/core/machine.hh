@@ -99,6 +99,8 @@ struct Psw
     std::uint32_t pack() const;
     /** PUTPSW writes condition codes and interrupt enable only. */
     void unpackUserBits(std::uint32_t value);
+
+    bool operator==(const Psw &) const = default;
 };
 
 /** Call/return event recorded for the window analyzer. */
@@ -161,6 +163,32 @@ struct MachineSnapshot
     std::vector<MemoryPage> pages;
     std::optional<CacheSnapshot> icache;
     std::optional<CacheSnapshot> dcache;
+
+    /**
+     * Field-for-field equality over the complete captured state — the
+     * oracle the fast-path lockstep and fuzz tests assert with.
+     */
+    bool operator==(const MachineSnapshot &) const = default;
+};
+
+class Machine;
+
+/**
+ * One predecoded instruction: the fast path's cache entry.  Everything
+ * step() derives per iteration — decoded fields, opcode metadata, the
+ * operand-counter contributions, delay-slot classification, and the
+ * resolved execution handler — is computed once at decode time.
+ */
+struct DecodedInst
+{
+    Instruction inst;
+    const OpcodeInfo *info = nullptr;
+    /** Resolved handler; nullptr marks an empty cache slot. */
+    void (*exec)(Machine &, const DecodedInst &) = nullptr;
+    std::uint8_t regReads = 0;   ///< countOperandRegs read contribution
+    std::uint8_t regWrites = 0;  ///< countOperandRegs write contribution
+    bool nop = false;            ///< isNop(inst)
+    bool hasDelaySlot = false;   ///< transfer with architectural slot
 };
 
 /** The RISC I processor simulator. */
@@ -187,6 +215,22 @@ class Machine
      * @throws FatalError when the step limit is hit (runaway program).
      */
     RunOutcome run(std::uint64_t maxSteps = 200'000'000);
+
+    /**
+     * Execute up to @p maxSteps instructions through the predecoded
+     * fast path and report how far it got (no runaway throw — callers
+     * that need a budget, like the batch engine, check `halted`).
+     *
+     * Architecturally bit-for-bit equivalent to calling step() in a
+     * loop: registers, PSW, memory, all RunStats/MemoryStats/cache
+     * counters, interrupt acceptance, and delay-slot behavior are
+     * identical, including across self-modifying code and snapshot
+     * restore (the decode cache keys on Memory's per-line write
+     * generations, so any content change invalidates it).  When a
+     * trace hook is installed the engine falls back to step() so the
+     * hook observes every instruction; see docs/SIM.md.
+     */
+    RunOutcome runFast(std::uint64_t maxSteps = 200'000'000);
 
     bool halted() const { return halted_; }
     std::uint32_t pc() const { return pc_; }
@@ -259,10 +303,38 @@ class Machine
     void restore(const MachineSnapshot &snap);
 
   private:
+    friend struct FastOps;   ///< fast-path opcode handlers (machine.cc)
+
     struct AluResult
     {
         std::uint32_t value;
         CondCodes cc;
+    };
+
+    /** One decode-cache slot (one word-aligned code address). */
+    struct PredecodeEntry
+    {
+        DecodedInst d;
+        /** Raw instruction word @ref d was decoded from. */
+        std::uint32_t word = 0;
+        /** Memory write generation the slot was last validated
+         *  against; the all-ones sentinel never matches a real
+         *  generation, so default-constructed slots always miss. */
+        std::uint64_t gen = ~0ull;
+    };
+
+    /**
+     * Decode-cache image of one memory page (pageBytes/4 slots,
+     * sized lazily on first fetch from the page).  Invalidation is
+     * per-slot: a write bumps its Memory::genLineBytes line's write
+     * generation, and each stale slot revalidates itself on its next
+     * execution by re-fetching its word — an unchanged word keeps its
+     * decode, so data stores that merely land near code cost one word
+     * compare, not a re-decode.
+     */
+    struct PredecodePage
+    {
+        std::vector<PredecodeEntry> entries;
     };
 
     AluResult executeAlu(const Instruction &inst, std::uint32_t a,
@@ -275,6 +347,9 @@ class Machine
     void fillCurrentFrame();
     void transferTo(std::uint32_t target, bool haltOnSelf = false);
     void countOperandRegs(const Instruction &inst);
+    void maybeAcceptInterrupt();
+    /** Build a cache entry from a fetched instruction word. */
+    static DecodedInst predecodeWord(std::uint32_t word);
 
     MachineConfig config_;
     Memory mem_;
@@ -307,6 +382,9 @@ class Machine
 
     std::optional<CacheModel> icache_;
     std::optional<CacheModel> dcache_;
+
+    /** Lazily populated decode cache, one image per memory page. */
+    std::vector<PredecodePage> predecode_;
 };
 
 } // namespace risc1

@@ -53,6 +53,8 @@ struct WindowConfig
         cfg.numWindows = 6;
         return cfg;
     }
+
+    bool operator==(const WindowConfig &) const = default;
 };
 
 /** Visible-register group classification. */

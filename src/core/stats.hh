@@ -70,6 +70,9 @@ struct RunStats
 
     void reset() { *this = RunStats{}; }
 
+    /** Counter-for-counter equality (the lockstep tests' oracle). */
+    bool operator==(const RunStats &) const = default;
+
     /** Multi-line human-readable rendering. */
     std::string summary() const;
 

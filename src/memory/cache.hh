@@ -21,6 +21,8 @@ struct CacheConfig
     std::uint32_t sizeBytes = 1024;
     std::uint32_t lineBytes = 16;
     unsigned missPenaltyCycles = 4;
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Hit/miss statistics. */
@@ -41,6 +43,8 @@ struct CacheStats
 
     void reset() { *this = CacheStats{}; }
 
+    bool operator==(const CacheStats &) const = default;
+
     /** Serialize to @p w as a JSON object (see docs/SIM.md). */
     void writeJson(class JsonWriter &w) const;
 };
@@ -52,6 +56,8 @@ struct CacheSnapshot
     std::vector<std::uint32_t> tags;
     std::vector<bool> valid;
     CacheStats stats;
+
+    bool operator==(const CacheSnapshot &) const = default;
 };
 
 /** Direct-mapped cache with tag-only state (a timing model). */

@@ -22,7 +22,8 @@ MemoryStats::writeJson(JsonWriter &w) const
 
 Memory::Memory(std::size_t size)
     : data_(size, 0),
-      dirty_((size + pageBytes - 1) / pageBytes, false)
+      dirty_((size + pageBytes - 1) / pageBytes, false),
+      lineGen_((size + genLineBytes - 1) / genLineBytes, 0)
 {
     if (size == 0 || size % 4 != 0)
         fatal(cat("memory size must be a positive multiple of 4, got ",
@@ -169,6 +170,9 @@ Memory::clear()
 {
     std::fill(data_.begin(), data_.end(), 0);
     std::fill(dirty_.begin(), dirty_.end(), false);
+    // Zeroing changes content, so every line's generation moves.
+    for (auto &gen : lineGen_)
+        ++gen;
     stats_.reset();
 }
 

@@ -22,6 +22,8 @@ struct MemoryStats
     std::uint64_t bytesRead = 0;
     std::uint64_t bytesWritten = 0;
 
+    bool operator==(const MemoryStats &) const = default;
+
     void
     reset()
     {
@@ -37,6 +39,8 @@ struct MemoryPage
 {
     std::uint32_t base = 0;          ///< page-aligned start address
     std::vector<std::uint8_t> bytes; ///< pageBytes of content
+
+    bool operator==(const MemoryPage &) const = default;
 };
 
 /**
@@ -69,6 +73,13 @@ class Memory
     std::uint32_t fetchWord(std::uint32_t addr);
     /** Variable-length fetch for the CISC machine (1 byte). */
     std::uint8_t fetchByte(std::uint32_t addr);
+    /**
+     * Account one instruction fetch without touching memory.  The
+     * predecoded fast path uses this when it serves an instruction from
+     * its decode cache, so MemoryStats stay bit-identical to the
+     * fetch-every-step reference interpreter.
+     */
+    void countFetch() { ++stats_.fetches; }
 
     // -- Uncounted debug/loader access ---------------------------------
     std::uint32_t peekWord(std::uint32_t addr) const;
@@ -99,20 +110,50 @@ class Memory
     /** clear() and replay @p pages (which become the new dirty set). */
     void restoreContents(const std::vector<MemoryPage> &pages);
 
+    // -- Write generations (predecode-cache invalidation) --------------
+    /** Write-generation tracking granularity (bytes). */
+    static constexpr std::uint32_t genLineBytes = 64;
+
+    /**
+     * Monotonic per-line write counter: bumped every time any byte of
+     * the genLineBytes-sized line changes (data writes, pokes, loader
+     * blocks, clear(), snapshot restore).  A consumer that caches
+     * derived state — the Machine's predecoded-instruction cache —
+     * records the generation it was built against and revalidates when
+     * it moves.  Lines are much smaller than pages so that data stores
+     * merely near code (workloads commonly place both on one page)
+     * do not disturb the cached code lines.
+     */
+    std::uint64_t
+    lineGen(std::size_t lineIndex) const
+    {
+        return lineGen_[lineIndex];
+    }
+
+    /** Number of pageBytes-sized pages. */
+    std::size_t numPages() const { return dirty_.size(); }
+
   private:
     void check(std::uint32_t addr, unsigned bytes) const;
 
-    /** Mark the pages covering [addr, addr+bytes) dirty. */
+    /**
+     * Mark the pages covering [addr, addr+bytes) dirty and move the
+     * write generations of the lines they span.
+     */
     void
     touch(std::uint32_t addr, std::size_t bytes)
     {
         for (std::size_t p = addr / pageBytes;
              p <= (addr + bytes - 1) / pageBytes; ++p)
             dirty_[p] = true;
+        for (std::size_t l = addr / genLineBytes;
+             l <= (addr + bytes - 1) / genLineBytes; ++l)
+            ++lineGen_[l];
     }
 
     std::vector<std::uint8_t> data_;
     std::vector<bool> dirty_; ///< one bit per pageBytes-sized page
+    std::vector<std::uint64_t> lineGen_; ///< see lineGen()
     MemoryStats stats_;
 };
 

@@ -51,6 +51,16 @@ struct SimJob
     std::uint64_t maxSteps = 200'000'000;
 
     /**
+     * Execute RISC jobs through the predecoded fast path
+     * (Machine::runFast) instead of the per-step reference
+     * interpreter.  On by default — the two paths are bit-for-bit
+     * equivalent (tests/test_fast_path.cc) — but sweep authors can
+     * clear it to cross-check a suspicious run on the reference
+     * interpreter.  Ignored for Vax jobs.
+     */
+    bool fast = true;
+
+    /**
      * Expected checksum (RISC: r1, CISC: r0).  A halted job whose
      * checksum differs is reported as JobStatus::Error.
      */

@@ -121,6 +121,8 @@ materialize(const RawJob &raw, std::size_t jobIndex,
             job.config.dcache = parseCache(value, line, key);
         } else if (key == "maxsteps") {
             job.maxSteps = parseUint(value, line, key);
+        } else if (key == "fast") {
+            job.fast = parseBool(value, line, key);
         } else if (key == "expect") {
             job.expected = static_cast<std::uint32_t>(
                 parseUint(value, line, key));
