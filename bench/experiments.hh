@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The riscbench experiment registry: every table/figure experiment is
+ * one run function (defined in its own .cc alongside the experiment's
+ * commentary) registered here by name.  The riscbench driver
+ * (riscbench.cc) dispatches `riscbench <name>`, `--list`, and `--all`
+ * over this table; each entry's stdout is the experiment's published
+ * table and is covered byte-for-byte by tests/test_golden_tables.cc.
+ */
+
+#ifndef RISC1_BENCH_EXPERIMENTS_HH
+#define RISC1_BENCH_EXPERIMENTS_HH
+
+#include <cstddef>
+#include <string_view>
+
+namespace risc1::bench {
+
+int runTableInstructionMix();
+int runTableCodeSize();
+int runTableExecutionTime();
+int runTableCallCost();
+int runFigWindowOverflow();
+int runFigDelaySlots();
+int runFigRegisterTraffic();
+int runTableWindowConfigs();
+int runTableBaselineFamily();
+int runTableFetchTraffic();
+int runFigIcacheSweep();
+
+/** One registered experiment. @return 0 on success. */
+struct Experiment
+{
+    std::string_view name;   ///< CLI name (historic binary name)
+    std::string_view title;  ///< one-line description for --list
+    int (*run)();
+};
+
+/** Registry in paper order — the order `--all` runs. */
+inline constexpr Experiment kExperiments[] = {
+    {"table_instruction_mix",
+     "E1: dynamic instruction mix on RISC I", runTableInstructionMix},
+    {"table_code_size",
+     "E2: static program size, RISC I vs the CISC baseline",
+     runTableCodeSize},
+    {"table_execution_time",
+     "E3: execution time, RISC I vs the CISC baseline",
+     runTableExecutionTime},
+    {"table_call_cost",
+     "E4/E8: procedure-call cost, windows vs memory frames",
+     runTableCallCost},
+    {"fig_window_overflow",
+     "E5: window overflow rate vs number of windows",
+     runFigWindowOverflow},
+    {"fig_delay_slots",
+     "E6: delayed-branch slot utilisation", runFigDelaySlots},
+    {"fig_register_traffic",
+     "E7: operand locality, register vs memory references",
+     runFigRegisterTraffic},
+    {"table_window_configs",
+     "A1: register-file ablation, 6 windows vs 8 vs none",
+     runTableWindowConfigs},
+    {"table_baseline_family",
+     "E3b: RISC I speedup vs a family of CISC calibrations",
+     runTableBaselineFamily},
+    {"table_fetch_traffic",
+     "E2b: instruction bytes fetched, RISC I vs the CISC baseline",
+     runTableFetchTraffic},
+    {"fig_icache_sweep",
+     "X1: instruction-cache sensitivity sweep", runFigIcacheSweep},
+};
+
+inline constexpr std::size_t kNumExperiments =
+    sizeof(kExperiments) / sizeof(kExperiments[0]);
+
+} // namespace risc1::bench
+
+#endif // RISC1_BENCH_EXPERIMENTS_HH

@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/machine.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
@@ -42,7 +43,7 @@ runKernel(const std::string &source, std::uint64_t &cycles,
 } // namespace
 
 int
-main()
+bench::runFigDelaySlots()
 {
     bench::banner(
         "E6", "Delayed-branch slot utilisation",

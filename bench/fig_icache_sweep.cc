@@ -20,14 +20,16 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "sim/artifact.hh"
 #include "sim/engine.hh"
+#include "target/risc_target.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runFigIcacheSweep()
 {
     bench::banner(
         "X1", "Instruction-cache sweep (extension study)",
@@ -44,8 +46,8 @@ main()
     for (const auto &w : allWorkloads()) {
         Machine loaded;
         loaded.loadProgram(assembleRisc(w.riscSource));
-        const auto snap =
-            std::make_shared<const MachineSnapshot>(loaded.snapshot());
+        const auto snap = std::make_shared<target::RiscTargetSnapshot>(
+            loaded.snapshot());
 
         sim::SimJob baseline;
         baseline.id = cat(w.id, "/no-cache");
@@ -57,7 +59,7 @@ main()
             sim::SimJob job;
             job.id = cat(w.id, "/", size, "B");
             job.base = snap;
-            job.config.icache = CacheConfig{size, 16, 4};
+            job.config.risc.icache = CacheConfig{size, 16, 4};
             job.expected = w.expected;
             jobs.push_back(std::move(job));
         }
@@ -81,10 +83,12 @@ main()
     std::size_t i = 0;
     for (const auto &w : allWorkloads()) {
         std::vector<std::string> row = {
-            w.id, Table::num(results[i].stats.cycles)};
+            w.id,
+            Table::num(target::riscStats(*results[i].stats).run.cycles)};
         for (std::size_t k = 1; k < perWorkload; ++k)
-            row.push_back(
-                bench::percent(1.0 - results[i + k].icache.hitRate()));
+            row.push_back(bench::percent(
+                1.0 - target::riscStats(*results[i + k].stats)
+                          .icache.hitRate()));
         i += perWorkload;
         table.addRow(std::move(row));
     }

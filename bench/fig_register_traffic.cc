@@ -9,12 +9,13 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runFigRegisterTraffic()
 {
     bench::banner(
         "E7", "Operand locality: register vs memory references",

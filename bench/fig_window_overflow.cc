@@ -11,12 +11,13 @@
 #include "analysis/window_analyzer.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runFigWindowOverflow()
 {
     bench::banner(
         "E5", "Window overflow rate vs number of windows",

@@ -1,0 +1,94 @@
+/**
+ * riscbench — the unified experiment runner.  Every table/figure
+ * experiment that used to be its own binary is a subcommand:
+ *
+ *     riscbench <experiment> [<experiment> ...]
+ *     riscbench --list
+ *     riscbench --all
+ *
+ * Each experiment prints its banner and table to stdout exactly as the
+ * standalone binaries did (the golden tests hold the output to that),
+ * and the engine-backed experiments drop their JSON artifacts in
+ * bench/out/ as before.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments.hh"
+
+using namespace risc1;
+
+namespace {
+
+int
+listExperiments()
+{
+    for (const auto &e : bench::kExperiments)
+        std::cout << e.name << "\t" << e.title << "\n";
+    return 0;
+}
+
+const bench::Experiment *
+findExperiment(const std::string &name)
+{
+    for (const auto &e : bench::kExperiments)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: riscbench <experiment> [<experiment> ...]\n"
+                 "       riscbench --list | --all\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::vector<const bench::Experiment *> toRun;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            return listExperiments();
+        } else if (arg == "--all") {
+            for (const auto &e : bench::kExperiments)
+                toRun.push_back(&e);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (const auto *e = findExperiment(arg)) {
+            toRun.push_back(e);
+        } else {
+            std::cerr << "riscbench: unknown experiment '" << arg
+                      << "' (run 'riscbench --list' for the "
+                         "registry)\n";
+            return 2;
+        }
+    }
+
+    int failures = 0;
+    bool first = true;
+    for (const auto *e : toRun) {
+        if (!first)
+            std::cout << "\n";
+        first = false;
+        try {
+            if (e->run() != 0)
+                ++failures;
+        } catch (const std::exception &ex) {
+            std::cerr << "riscbench: " << e->name << ": " << ex.what()
+                      << "\n";
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -14,12 +14,13 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runTableBaselineFamily()
 {
     bench::banner(
         "E3b", "RISC I speedup vs a family of CISC calibrations",

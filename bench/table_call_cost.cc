@@ -13,12 +13,13 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runTableCallCost()
 {
     bench::banner(
         "E4/E8", "Procedure-call cost: windows vs memory frames",

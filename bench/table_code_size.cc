@@ -10,12 +10,13 @@
 #include "analysis/codesize.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runTableCodeSize()
 {
     bench::banner(
         "E2", "Static program size: RISC I vs the CISC baseline",

@@ -16,14 +16,17 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "sim/artifact.hh"
 #include "sim/engine.hh"
+#include "target/risc_target.hh"
+#include "target/vax_target.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runTableExecutionTime()
 {
     bench::banner(
         "E3", "Execution time: RISC I vs the CISC baseline (cycles)",
@@ -42,7 +45,7 @@ main()
 
         sim::SimJob cisc;
         cisc.id = cat(w.id, "/cisc");
-        cisc.machine = sim::SimMachine::Vax;
+        cisc.backend = "vax";
         cisc.source = w.vaxSource;
         cisc.expected = w.expected;
         jobs.push_back(std::move(cisc));
@@ -66,8 +69,9 @@ main()
     std::uint64_t riscCycles = 0, vaxCycles = 0;
     std::size_t i = 0;
     for (const auto &w : allWorkloads()) {
-        const RunStats &r = results[i].stats;
-        const VaxStats &v = results[i + 1].vaxStats;
+        const RunStats &r = target::riscStats(*results[i].stats).run;
+        const VaxStats &v =
+            target::vaxStats(*results[i + 1].stats).vax;
         i += 2;
         const double riscCpi = static_cast<double>(r.cycles) /
                                static_cast<double>(r.instructions);

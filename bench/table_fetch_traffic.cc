@@ -11,12 +11,13 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
 
 int
-main()
+bench::runTableFetchTraffic()
 {
     bench::banner(
         "E2b", "Instruction bytes fetched: RISC I vs the CISC baseline",

@@ -18,8 +18,10 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "sim/artifact.hh"
 #include "sim/engine.hh"
+#include "target/risc_target.hh"
 #include "workloads/workloads.hh"
 
 using namespace risc1;
@@ -35,7 +37,7 @@ millis(std::chrono::steady_clock::duration d)
 } // namespace
 
 int
-main()
+bench::runTableWindowConfigs()
 {
     bench::banner(
         "A1", "Register-file ablation: 6 windows vs 8 vs none",
@@ -60,7 +62,7 @@ main()
             sim::SimJob job;
             job.id = cat(w.id, "/", cfgNames[jobs.size() % 3]);
             job.source = w.riscSource;
-            job.config = cfg;
+            job.config.risc = cfg;
             job.expected = w.expected;
             jobs.push_back(std::move(job));
         }
@@ -91,22 +93,24 @@ main()
                  "call mem words", "vs full"});
 
     for (std::size_t i = 0; i < parallel.size(); i += 3) {
-        const RunStats &fullStats = parallel[i].stats;
+        const RunStats &fullStats =
+            target::riscStats(*parallel[i].stats).run;
         for (std::size_t k = 0; k < 3; ++k) {
             const sim::SimResult &r = parallel[i + k];
+            const RunStats &s = target::riscStats(*r.stats).run;
             const std::uint64_t callWords =
-                r.stats.spillWords + r.stats.fillWords +
-                r.stats.softSaveWords + r.stats.softRestoreWords;
+                s.spillWords + s.fillWords + s.softSaveWords +
+                s.softRestoreWords;
             const std::string workloadId =
                 r.id.substr(0, r.id.find('/'));
             table.addRow({
                 workloadId,
                 cfgNames[k],
-                Table::num(r.stats.cycles),
-                Table::num(r.stats.windowOverflows),
-                Table::num(r.stats.windowUnderflows),
+                Table::num(s.cycles),
+                Table::num(s.windowOverflows),
+                Table::num(s.windowUnderflows),
                 Table::num(callWords),
-                Table::num(static_cast<double>(r.stats.cycles) /
+                Table::num(static_cast<double>(s.cycles) /
                                static_cast<double>(fullStats.cycles),
                            2),
             });

@@ -81,14 +81,12 @@ main(int argc, char **argv)
                      "instrs", "checksum"});
         int failures = 0;
         for (const auto &r : results) {
-            const bool risc = r.machine == sim::SimMachine::Risc;
-            const std::uint64_t cycles =
-                risc ? r.stats.cycles : r.vaxStats.cycles;
+            const std::uint64_t cycles = r.stats ? r.stats->cycles() : 0;
             const std::uint64_t instrs =
-                risc ? r.stats.instructions : r.vaxStats.instructions;
+                r.stats ? r.stats->instructions() : 0;
             table.addRow({
                 r.id,
-                risc ? "risc" : "cisc",
+                r.backend,
                 std::string(sim::jobStatusName(r.status)),
                 Table::num(r.steps),
                 Table::num(cycles),

@@ -1,27 +1,60 @@
 #!/usr/bin/env sh
-# Tier-1 verify plus a smoke run of the engine-ported benches.
+# Tier-1 verify: build, staged test rings, bench smoke, sanitizers.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [build-dir] [--sanitize|--no-sanitize]
 #
-# Mirrors ROADMAP.md's tier-1 command (default CMake generator) and
-# then executes the three batch-engine benches, which regenerate their
-# tables and write JSON artifacts under <build-dir>/bench/out/.
+#   (default)      normal build + full test stages, then a second
+#                  ASan+UBSan build-and-test pass under <build-dir>-asan
+#   --sanitize     configure THIS build with -DSANITIZE=ON and skip the
+#                  trailing sanitizer pass (what CI's asan job runs)
+#   --no-sanitize  normal build only, no trailing sanitizer pass
+#
+# ctest runs in labeled stages (see docs/TESTING.md) so a failure names
+# the ring that broke: unit -> property -> differential -> target ->
+# vax -> golden -> bench.
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
+BUILD=build
+MODE=default
+for arg in "$@"; do
+    case "$arg" in
+    --sanitize) MODE=sanitize ;;
+    --no-sanitize) MODE=nosanitize ;;
+    *) BUILD="$arg" ;;
+    esac
+done
 
-cmake -B "$BUILD" -S .
+CMAKE_FLAGS=""
+[ "$MODE" = sanitize ] && CMAKE_FLAGS="-DSANITIZE=ON"
+
+# shellcheck disable=SC2086  # CMAKE_FLAGS is intentionally word-split
+cmake -B "$BUILD" -S . $CMAKE_FLAGS
 cmake --build "$BUILD" -j
-(cd "$BUILD" && ctest --output-on-failure -j)
+
+run_stages() {
+    dir="$1"
+    for label in unit property differential target vax golden bench; do
+        echo
+        echo "== ctest stage: $label =="
+        (cd "$dir" && ctest -L "$label" --output-on-failure -j)
+    done
+    # Safety net: anything a future test forgets to label still runs.
+    echo
+    echo "== ctest stage: full sweep =="
+    (cd "$dir" && ctest --output-on-failure -j)
+}
+
+run_stages "$BUILD"
 
 echo
-echo "== bench smoke: engine-ported sweeps =="
-for bench in table_window_configs table_execution_time fig_icache_sweep; do
-    echo "-- $bench"
-    (cd "$BUILD" && "./bench/$bench" > /dev/null)
-    test -s "$BUILD/bench/out/$bench.json" || {
-        echo "missing artifact: $BUILD/bench/out/$bench.json" >&2
+echo "== bench smoke: riscbench experiment registry =="
+(cd "$BUILD" && ./bench/riscbench --list > /dev/null)
+for exp in table_window_configs table_execution_time fig_icache_sweep; do
+    echo "-- riscbench $exp"
+    (cd "$BUILD" && ./bench/riscbench "$exp" > /dev/null)
+    test -s "$BUILD/bench/out/$exp.json" || {
+        echo "missing artifact: $BUILD/bench/out/$exp.json" >&2
         exit 1
     }
 done
@@ -34,11 +67,13 @@ test -s "$BUILD/bench/out/BENCH_dispatch.json" || {
     exit 1
 }
 
-echo
-echo "== sanitizer pass: ASan + UBSan =="
-ASAN_BUILD="${BUILD}-asan"
-cmake -B "$ASAN_BUILD" -S . -DSANITIZE=ON
-cmake --build "$ASAN_BUILD" -j
-(cd "$ASAN_BUILD" && ctest --output-on-failure -j)
+if [ "$MODE" = default ]; then
+    echo
+    echo "== sanitizer pass: ASan + UBSan =="
+    ASAN_BUILD="${BUILD}-asan"
+    cmake -B "$ASAN_BUILD" -S . -DSANITIZE=ON
+    cmake --build "$ASAN_BUILD" -j
+    run_stages "$ASAN_BUILD"
+fi
 
 echo "check.sh: all green"

@@ -845,8 +845,7 @@ Machine::runFast(std::uint64_t maxSteps)
         return outcome;
     }
 
-    if (predecode_.size() != mem_.numPages())
-        predecode_.resize(mem_.numPages());
+    predecode_.sync(mem_);
 
     while (!halted_ && outcome.steps < maxSteps) {
         maybeAcceptInterrupt();
@@ -862,30 +861,23 @@ Machine::runFast(std::uint64_t maxSteps)
             static_cast<std::uint64_t>(pc) + 4 > mem_.size())
             (void)mem_.fetchWord(pc);
 
-        const std::size_t pageIdx = pc / Memory::pageBytes;
-        PredecodePage &page = predecode_[pageIdx];
-        if (page.entries.empty())
-            page.entries.resize(Memory::pageBytes / 4);
-        PredecodeEntry &e =
-            page.entries[(pc & (Memory::pageBytes - 1)) >> 2];
-        const std::uint64_t memGen =
-            mem_.lineGen(pc / Memory::genLineBytes);
-        if (e.gen == memGen) {
-            // Clean hit: the page is unwritten since this slot was
+        PredecodeCache::Slot &e = predecode_.slot(pc);
+        if (PredecodeCache::valid(e, mem_, pc, 4)) {
+            // Clean hit: the lines are unwritten since this slot was
             // validated.  Count the fetch step() would have done.
             mem_.countFetch();
         } else {
-            // The page was written (data and code often share pages)
-            // or the slot was never filled: re-fetch and revalidate.
-            // An unchanged word keeps its decode; only a genuinely
-            // new word pays for a fresh predecode.
+            // The lines were written (data and code often share
+            // pages) or the slot was never filled: re-fetch and
+            // revalidate.  An unchanged word keeps its decode; only a
+            // genuinely new word pays for a fresh predecode.
             const std::uint32_t word = mem_.fetchWord(pc);
-            if (e.gen == ~0ull || e.word != word)
-                e.d = predecodeWord(word);
-            e.word = word;
-            e.gen = memGen;
+            if (e.empty() || e.payload.word != word)
+                e.payload.d = predecodeWord(word);
+            e.payload.word = word;
+            PredecodeCache::revalidate(e, mem_, pc, 4);
         }
-        const DecodedInst &d = e.d;
+        const DecodedInst &d = e.payload.d;
 
         ++stats_.instructions;
         ++stats_.perOpcode[static_cast<std::uint8_t>(d.inst.op)];

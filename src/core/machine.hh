@@ -37,11 +37,13 @@
 #include <optional>
 
 #include "common/program.hh"
+#include "core/outcome.hh"
 #include "core/regfile.hh"
 #include "core/stats.hh"
 #include "isa/instruction.hh"
 #include "memory/cache.hh"
 #include "memory/memory.hh"
+#include "target/decode_cache.hh"
 
 namespace risc1 {
 
@@ -105,13 +107,6 @@ struct Psw
 
 /** Call/return event recorded for the window analyzer. */
 enum class CallEvent : std::uint8_t { Call, Return };
-
-/** Result of Machine::run(). */
-struct RunOutcome
-{
-    bool halted = false;
-    std::uint64_t steps = 0;
-};
 
 /**
  * Full architectural + accounting state captured by Machine::snapshot().
@@ -311,31 +306,20 @@ class Machine
         CondCodes cc;
     };
 
-    /** One decode-cache slot (one word-aligned code address). */
-    struct PredecodeEntry
+    /** Decode-cache payload: one word-aligned code address. */
+    struct PredecodePayload
     {
         DecodedInst d;
-        /** Raw instruction word @ref d was decoded from. */
+        /** Raw instruction word @ref d was decoded from; an unchanged
+         *  word keeps its decode on revalidation, so data stores that
+         *  merely land near code cost one word compare, not a
+         *  re-decode. */
         std::uint32_t word = 0;
-        /** Memory write generation the slot was last validated
-         *  against; the all-ones sentinel never matches a real
-         *  generation, so default-constructed slots always miss. */
-        std::uint64_t gen = ~0ull;
     };
 
-    /**
-     * Decode-cache image of one memory page (pageBytes/4 slots,
-     * sized lazily on first fetch from the page).  Invalidation is
-     * per-slot: a write bumps its Memory::genLineBytes line's write
-     * generation, and each stale slot revalidates itself on its next
-     * execution by re-fetching its word — an unchanged word keeps its
-     * decode, so data stores that merely land near code cost one word
-     * compare, not a re-decode.
-     */
-    struct PredecodePage
-    {
-        std::vector<PredecodeEntry> entries;
-    };
+    /** One slot per word-aligned address (see target/decode_cache.hh
+     *  for the shared generation-validation machinery). */
+    using PredecodeCache = target::DecodeCache<PredecodePayload, 2>;
 
     AluResult executeAlu(const Instruction &inst, std::uint32_t a,
                          std::uint32_t b) const;
@@ -384,7 +368,7 @@ class Machine
     std::optional<CacheModel> dcache_;
 
     /** Lazily populated decode cache, one image per memory page. */
-    std::vector<PredecodePage> predecode_;
+    PredecodeCache predecode_;
 };
 
 } // namespace risc1

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The run-loop result shared by every simulated machine's run() /
+ * runFast() entry points (and by the Target interface that wraps
+ * them).
+ */
+
+#ifndef RISC1_CORE_OUTCOME_HH
+#define RISC1_CORE_OUTCOME_HH
+
+#include <cstdint>
+
+namespace risc1 {
+
+/** Result of a bounded run loop. */
+struct RunOutcome
+{
+    bool halted = false;
+    std::uint64_t steps = 0;
+};
+
+} // namespace risc1
+
+#endif // RISC1_CORE_OUTCOME_HH

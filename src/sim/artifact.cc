@@ -13,24 +13,19 @@ writeResultJson(JsonWriter &w, const SimResult &result)
     w.beginObject()
         .field("index", static_cast<std::uint64_t>(result.index))
         .field("id", result.id)
-        .field("machine",
-               result.machine == SimMachine::Risc ? "risc" : "cisc")
+        .field("machine", result.backend)
         .field("status", jobStatusName(result.status))
         .field("error", result.error)
         .field("steps", result.steps)
         .field("checksum", result.checksum)
         .field("codeBytes", result.codeBytes);
 
-    if (result.machine == SimMachine::Risc) {
-        w.key("stats");
-        result.stats.writeJson(w);
-        w.key("icache");
-        result.icache.writeJson(w);
-        w.key("dcache");
-        result.dcache.writeJson(w);
+    if (result.stats) {
+        result.stats->writeJson(w);
     } else {
-        w.key("stats");
-        result.vaxStats.writeJson(w);
+        // Unknown backend that never ran: keep the schema's mandatory
+        // "stats" key with an empty block.
+        w.key("stats").beginObject().endObject();
     }
 
     w.key("memory");

@@ -3,9 +3,8 @@
 #include <exception>
 #include <thread>
 
-#include "asm/assembler.hh"
 #include "common/logging.hh"
-#include "vax/vassembler.hh"
+#include "target/registry.hh"
 
 namespace risc1::sim {
 
@@ -66,94 +65,44 @@ resolveWorkers(const BatchOptions &options)
     return hw != 0 ? hw : 1;
 }
 
-namespace {
-
-void
-runRiscJob(const SimJob &job, SimResult &res)
-{
-    Machine machine(job.config);
-    if (job.base) {
-        machine.restore(*job.base);
-    } else {
-        const Program prog = assembleRisc(job.source);
-        res.codeBytes = prog.codeBytes();
-        machine.loadProgram(prog);
-    }
-
-    if (job.fast) {
-        res.steps = machine.runFast(job.maxSteps).steps;
-    } else {
-        while (!machine.halted() && res.steps < job.maxSteps) {
-            machine.step();
-            ++res.steps;
-        }
-    }
-
-    res.checksum = machine.reg(1);
-    res.stats = machine.stats();
-    res.icache = machine.icacheStats();
-    res.dcache = machine.dcacheStats();
-    res.mem = machine.memory().stats();
-
-    if (!machine.halted()) {
-        res.status = JobStatus::StepLimit;
-        res.error = cat("program did not halt within ", job.maxSteps,
-                        " steps");
-    } else if (job.expected && res.checksum != *job.expected) {
-        res.status = JobStatus::Error;
-        res.error = cat("checksum ", res.checksum, " != expected ",
-                        *job.expected);
-    }
-}
-
-void
-runVaxJob(const SimJob &job, SimResult &res)
-{
-    if (job.base)
-        fatal("snapshot fork is only supported for RISC jobs");
-    const Program prog = assembleVax(job.source);
-    res.codeBytes = prog.codeBytes();
-    VaxMachine machine(job.vaxConfig);
-    machine.loadProgram(prog);
-
-    while (!machine.halted() && res.steps < job.maxSteps) {
-        machine.step();
-        ++res.steps;
-    }
-
-    res.checksum = machine.reg(0);
-    res.vaxStats = machine.stats();
-    res.mem = machine.memory().stats();
-
-    if (!machine.halted()) {
-        res.status = JobStatus::StepLimit;
-        res.error = cat("program did not halt within ", job.maxSteps,
-                        " steps");
-    } else if (job.expected && res.checksum != *job.expected) {
-        res.status = JobStatus::Error;
-        res.error = cat("checksum ", res.checksum, " != expected ",
-                        *job.expected);
-    }
-}
-
-} // namespace
-
 SimResult
 runJob(const SimJob &job, std::size_t index)
 {
     SimResult res;
     res.index = index;
     res.id = job.id;
-    res.machine = job.machine;
+    res.backend = job.backend;
     try {
-        if (job.machine == SimMachine::Risc)
-            runRiscJob(job, res);
-        else
-            runVaxJob(job, res);
+        res.backend = target::canonicalBackend(job.backend);
+        const auto tgt = target::makeTarget(res.backend, job.config);
+
+        if (job.base) {
+            tgt->restore(*job.base);
+        } else {
+            tgt->load(job.source);
+            res.codeBytes = tgt->codeBytes();
+        }
+
+        res.steps = tgt->run(job.maxSteps, job.fast).steps;
+        res.checksum = tgt->checksum();
+        res.stats = tgt->stats();
+        res.mem = tgt->memStats();
+
+        if (!tgt->halted()) {
+            res.status = JobStatus::StepLimit;
+            res.error = cat("program did not halt within ", job.maxSteps,
+                            " steps");
+        } else if (job.expected && res.checksum != *job.expected) {
+            res.status = JobStatus::Error;
+            res.error = cat("checksum ", res.checksum, " != expected ",
+                            *job.expected);
+        }
     } catch (const std::exception &e) {
         res.status = JobStatus::Error;
         res.error = e.what();
     }
+    if (!res.stats)
+        res.stats = target::emptyStats(res.backend);
     return res;
 }
 

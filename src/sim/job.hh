@@ -2,13 +2,14 @@
  * @file
  * Declarative job and result types for the batch-simulation engine.
  *
- * A SimJob names everything needed to run one simulation: the assembly
- * source (or a pre-captured machine snapshot to fork from), the machine
- * configuration, and a step budget.  The engine turns a vector of jobs
- * into an equally long, insertion-ordered vector of SimResults; a job
- * that fails (assembler error, runaway program, checksum mismatch,
- * simulator fault) is captured in its result and never disturbs its
- * batch mates.
+ * A SimJob names everything needed to run one simulation: the backend
+ * (by canonical name — the engine constructs it through the target
+ * registry), the assembly source (or a pre-captured snapshot to fork
+ * from), the machine configuration, and a step budget.  The engine
+ * turns a vector of jobs into an equally long, insertion-ordered
+ * vector of SimResults; a job that fails (assembler error, runaway
+ * program, checksum mismatch, simulator fault) is captured in its
+ * result and never disturbs its batch mates.
  */
 
 #ifndef RISC1_SIM_JOB_HH
@@ -19,13 +20,10 @@
 #include <optional>
 #include <string>
 
-#include "core/machine.hh"
-#include "vax/vmachine.hh"
+#include "memory/memory.hh"
+#include "target/target.hh"
 
 namespace risc1::sim {
-
-/** Which simulator a job targets. */
-enum class SimMachine : std::uint8_t { Risc, Vax };
 
 /** One simulation to run. */
 struct SimJob
@@ -33,7 +31,11 @@ struct SimJob
     /** Free-form identifier echoed into the result and artifacts. */
     std::string id;
 
-    SimMachine machine = SimMachine::Risc;
+    /**
+     * Backend name, canonical or alias (see target/registry.hh) —
+     * resolved to a Target when the job runs.
+     */
+    std::string backend = "risc";
 
     /**
      * Assembly source for the target machine.  Ignored when @ref base
@@ -41,40 +43,37 @@ struct SimJob
      */
     std::string source;
 
-    /** RISC I machine parameters (SimMachine::Risc jobs). */
-    MachineConfig config{};
-
-    /** Baseline machine parameters (SimMachine::Vax jobs). */
-    VaxConfig vaxConfig{};
+    /** Machine parameters; each backend reads its own slice. */
+    target::TargetOptions config{};
 
     /** Abort the job with JobStatus::StepLimit past this many steps. */
     std::uint64_t maxSteps = 200'000'000;
 
     /**
-     * Execute RISC jobs through the predecoded fast path
-     * (Machine::runFast) instead of the per-step reference
-     * interpreter.  On by default — the two paths are bit-for-bit
-     * equivalent (tests/test_fast_path.cc) — but sweep authors can
-     * clear it to cross-check a suspicious run on the reference
-     * interpreter.  Ignored for Vax jobs.
+     * Execute through the backend's predecoded fast path instead of
+     * the per-step reference interpreter.  On by default — the two
+     * paths are bit-for-bit equivalent (tests/test_fast_path.cc,
+     * tests/test_vax_fast_path.cc) — but sweep authors can clear it to
+     * cross-check a suspicious run on the reference interpreter.
      */
     bool fast = true;
 
     /**
-     * Expected checksum (RISC: r1, CISC: r0).  A halted job whose
-     * checksum differs is reported as JobStatus::Error.
+     * Expected checksum (per-ISA convention: RISC r1, VAX r0).  A
+     * halted job whose checksum differs is reported as
+     * JobStatus::Error.
      */
     std::optional<std::uint32_t> expected;
 
     /**
-     * Warm-start fork point (RISC jobs only): instead of assembling
-     * @ref source into a fresh machine, the worker restores this
-     * snapshot into a machine built from @ref config and continues
-     * from there.  The snapshot must be geometry-compatible with
-     * @ref config (see Machine::restore); caches may differ freely,
+     * Warm-start fork point: instead of assembling @ref source into a
+     * fresh machine, the worker restores this snapshot into a target
+     * built from @ref config and continues from there.  The snapshot
+     * must come from the same backend and be geometry-compatible with
+     * @ref config (see Target::restore); caches may differ freely,
      * which is the point — one executed prologue, many sweep points.
      */
-    std::shared_ptr<const MachineSnapshot> base;
+    std::shared_ptr<const target::TargetSnapshot> base;
 };
 
 /** How a job ended. */
@@ -93,7 +92,7 @@ struct SimResult
 {
     std::size_t index = 0;  ///< position in the submitted job vector
     std::string id;
-    SimMachine machine = SimMachine::Risc;
+    std::string backend = "risc";  ///< canonical backend name
     JobStatus status = JobStatus::Ok;
     std::string error;      ///< non-empty unless status == Ok
 
@@ -101,13 +100,12 @@ struct SimResult
     std::uint32_t checksum = 0;
     std::uint64_t codeBytes = 0;  ///< 0 for snapshot-forked jobs
 
-    // RISC results.
-    RunStats stats;
-    CacheStats icache;
-    CacheStats dcache;
-
-    // Baseline results.
-    VaxStats vaxStats;
+    /**
+     * Per-ISA run statistics (downcast via target::riscStats /
+     * target::vaxStats).  Always non-null: a job that fails before its
+     * target can report carries the backend's all-zero counters.
+     */
+    std::shared_ptr<const target::TargetStats> stats;
 
     MemoryStats mem;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "target/registry.hh"
 #include "workloads/workloads.hh"
 
 namespace risc1::sim {
@@ -86,18 +87,18 @@ materialize(const RawJob &raw, std::size_t jobIndex,
     SimJob job;
     job.id = cat("job", jobIndex);
 
-    // The machine kind decides which source a workload contributes, so
+    // The backend decides which source a workload contributes, so
     // resolve it first regardless of key order.
     std::string workload, file;
     for (const auto &[key, value, line] : raw.entries) {
         if (key == "machine") {
-            if (value == "risc")
-                job.machine = SimMachine::Risc;
-            else if (value == "cisc" || value == "vax")
-                job.machine = SimMachine::Vax;
-            else
-                fatal(cat("job file line ", line,
-                          ": unknown machine '", value, "'"));
+            try {
+                job.backend = target::canonicalBackend(value);
+            } catch (const std::exception &) {
+                fatal(cat("job file line ", line, ": unknown machine '",
+                          value, "' (valid: ",
+                          target::backendNameList(), ")"));
+            }
         }
     }
 
@@ -111,14 +112,14 @@ materialize(const RawJob &raw, std::size_t jobIndex,
         } else if (key == "file") {
             file = value;
         } else if (key == "windows") {
-            job.config.windows.numWindows = static_cast<unsigned>(
+            job.config.risc.windows.numWindows = static_cast<unsigned>(
                 parseUint(value, line, key));
         } else if (key == "windowed") {
-            job.config.windowedCalls = parseBool(value, line, key);
+            job.config.risc.windowedCalls = parseBool(value, line, key);
         } else if (key == "icache") {
-            job.config.icache = parseCache(value, line, key);
+            job.config.risc.icache = parseCache(value, line, key);
         } else if (key == "dcache") {
-            job.config.dcache = parseCache(value, line, key);
+            job.config.risc.dcache = parseCache(value, line, key);
         } else if (key == "maxsteps") {
             job.maxSteps = parseUint(value, line, key);
         } else if (key == "fast") {
@@ -128,7 +129,9 @@ materialize(const RawJob &raw, std::size_t jobIndex,
                 parseUint(value, line, key));
         } else {
             fatal(cat("job file line ", line, ": unknown key '", key,
-                      "'"));
+                      "' (valid: machine, id, workload, file, windows, "
+                      "windowed, icache, dcache, maxsteps, fast, "
+                      "expect)"));
         }
     }
 
@@ -139,8 +142,7 @@ materialize(const RawJob &raw, std::size_t jobIndex,
 
     if (!workload.empty()) {
         const Workload &w = findWorkload(workload);
-        job.source = job.machine == SimMachine::Risc ? w.riscSource
-                                                     : w.vaxSource;
+        job.source = target::workloadSource(job.backend, w);
         if (!job.expected)
             job.expected = w.expected;
     } else {

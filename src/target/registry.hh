@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The backend-name registry: the single place that maps backend names
+ * (and their legacy aliases) to Target factories.  Everything outside
+ * src/target/ deals in canonical name strings; adding a backend means
+ * one Target implementation plus one BackendInfo entry in
+ * registry.cc.
+ */
+
+#ifndef RISC1_TARGET_REGISTRY_HH
+#define RISC1_TARGET_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "target/target.hh"
+
+namespace risc1 {
+struct Workload;
+} // namespace risc1
+
+namespace risc1::target {
+
+/**
+ * Resolve @p name — a canonical backend name or a legacy alias
+ * ("cisc" for the VAX-class baseline) — to the canonical name.
+ * @throws FatalError naming the valid options on an unknown name.
+ */
+std::string_view canonicalBackend(std::string_view name);
+
+/** All canonical backend names, registry order. */
+std::vector<std::string_view> backendNames();
+
+/**
+ * One line listing every accepted backend name, canonical first with
+ * aliases in parentheses — for error messages and --help text.
+ */
+std::string backendNameList();
+
+/**
+ * Construct the backend @p name (canonical or alias) around its slice
+ * of @p options.  @throws FatalError naming the valid options on an
+ * unknown name.
+ */
+std::unique_ptr<Target> makeTarget(std::string_view name,
+                                   const TargetOptions &options = {});
+
+/**
+ * A default-constructed (all-zero) statistics object for @p name, or
+ * nullptr for an unknown backend — keeps the artifact schema stable
+ * for jobs that failed before their target could report.
+ */
+std::shared_ptr<const TargetStats> emptyStats(std::string_view name);
+
+/** The assembly source of @p workload for backend @p name. */
+const std::string &workloadSource(std::string_view name,
+                                  const Workload &workload);
+
+} // namespace risc1::target
+
+#endif // RISC1_TARGET_REGISTRY_HH

@@ -1,0 +1,77 @@
+#include "target/risc_target.hh"
+
+#include "asm/assembler.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace risc1::target {
+
+void
+RiscTargetStats::writeJson(JsonWriter &w) const
+{
+    w.key("stats");
+    run.writeJson(w);
+    w.key("icache");
+    icache.writeJson(w);
+    w.key("dcache");
+    dcache.writeJson(w);
+}
+
+const RiscTargetStats &
+riscStats(const TargetStats &stats)
+{
+    const auto *risc = dynamic_cast<const RiscTargetStats *>(&stats);
+    if (!risc)
+        fatal("result does not carry RISC I statistics");
+    return *risc;
+}
+
+void
+RiscTarget::load(const std::string &source)
+{
+    const Program program = assembleRisc(source);
+    codeBytes_ = program.codeBytes();
+    machine_.loadProgram(program);
+}
+
+RunOutcome
+RiscTarget::run(std::uint64_t maxSteps, bool fast)
+{
+    if (fast)
+        return machine_.runFast(maxSteps);
+    RunOutcome outcome;
+    while (!machine_.halted() && outcome.steps < maxSteps) {
+        machine_.step();
+        ++outcome.steps;
+    }
+    outcome.halted = machine_.halted();
+    return outcome;
+}
+
+std::shared_ptr<const TargetStats>
+RiscTarget::stats() const
+{
+    auto stats = std::make_shared<RiscTargetStats>();
+    stats->run = machine_.stats();
+    stats->icache = machine_.icacheStats();
+    stats->dcache = machine_.dcacheStats();
+    return stats;
+}
+
+std::shared_ptr<const TargetSnapshot>
+RiscTarget::snapshot() const
+{
+    return std::make_shared<RiscTargetSnapshot>(machine_.snapshot());
+}
+
+void
+RiscTarget::restore(const TargetSnapshot &snap)
+{
+    const auto *risc = dynamic_cast<const RiscTargetSnapshot *>(&snap);
+    if (!risc)
+        fatal(cat("cannot restore a '", snap.backend(),
+                  "' snapshot into the 'risc' backend"));
+    machine_.restore(risc->machineSnapshot());
+}
+
+} // namespace risc1::target

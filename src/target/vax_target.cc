@@ -1,0 +1,71 @@
+#include "target/vax_target.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+
+namespace risc1::target {
+
+void
+VaxTargetStats::writeJson(JsonWriter &w) const
+{
+    w.key("stats");
+    vax.writeJson(w);
+}
+
+const VaxTargetStats &
+vaxStats(const TargetStats &stats)
+{
+    const auto *v = dynamic_cast<const VaxTargetStats *>(&stats);
+    if (!v)
+        fatal("result does not carry baseline (VAX) statistics");
+    return *v;
+}
+
+void
+VaxTarget::load(const std::string &source)
+{
+    const Program program = assembleVax(source);
+    codeBytes_ = program.codeBytes();
+    machine_.loadProgram(program);
+}
+
+RunOutcome
+VaxTarget::run(std::uint64_t maxSteps, bool fast)
+{
+    if (fast)
+        return machine_.runFast(maxSteps);
+    RunOutcome outcome;
+    while (!machine_.halted() && outcome.steps < maxSteps) {
+        machine_.step();
+        ++outcome.steps;
+    }
+    outcome.halted = machine_.halted();
+    return outcome;
+}
+
+std::shared_ptr<const TargetStats>
+VaxTarget::stats() const
+{
+    auto stats = std::make_shared<VaxTargetStats>();
+    stats->vax = machine_.stats();
+    return stats;
+}
+
+std::shared_ptr<const TargetSnapshot>
+VaxTarget::snapshot() const
+{
+    return std::make_shared<VaxTargetSnapshot>(machine_.snapshot());
+}
+
+void
+VaxTarget::restore(const TargetSnapshot &snap)
+{
+    const auto *v = dynamic_cast<const VaxTargetSnapshot *>(&snap);
+    if (!v)
+        fatal(cat("cannot restore a '", snap.backend(),
+                  "' snapshot into the 'vax' backend"));
+    machine_.restore(v->machineSnapshot());
+}
+
+} // namespace risc1::target

@@ -721,4 +721,299 @@ VaxMachine::run(std::uint64_t maxSteps)
                   " steps"));
 }
 
+void
+VaxMachine::predecodeAt(std::uint32_t addr, PredecodePayload &out) const
+{
+    out = PredecodePayload{};
+
+    // Walk the encoding with uncounted peeks, guarding every byte:
+    // anything the reference decoder would fault on — stream past
+    // memory end, illegal opcode, illegal mode — is left to step(),
+    // which raises the exact fault from the exact partial state.
+    std::uint32_t cur = addr;
+    const auto bail = [&out] { out.refStep = true; };
+    const auto canPeek = [&](unsigned n) {
+        return static_cast<std::uint64_t>(cur) + n <= mem_.size();
+    };
+    const auto peek = [&] { return mem_.peekByte(cur++); };
+    const auto peekLong = [&] {
+        const std::uint32_t lo = peek(), b1 = peek(), b2 = peek(),
+                            hi = peek();
+        return lo | (b1 << 8) | (b2 << 16) | (hi << 24);
+    };
+
+    if (!canPeek(1))
+        return bail();
+    const auto opByte = static_cast<VaxOpcode>(peek());
+    out.info = vaxOpcodeInfo(opByte);
+    if (!out.info)
+        return bail();
+
+    for (unsigned i = 0; i < out.info->numOperands; ++i) {
+        PredecodedSpec &spec = out.specs[i];
+        const VaxOpndUse use = out.info->operands[i];
+
+        if (use == VaxOpndUse::Branch8 || use == VaxOpndUse::Branch16) {
+            const unsigned n = use == VaxOpndUse::Branch8 ? 1 : 2;
+            if (!canPeek(n))
+                return bail();
+            std::uint32_t raw = peek();
+            if (n == 2)
+                raw |= static_cast<std::uint32_t>(peek()) << 8;
+            spec.kind = PredecodedSpec::Kind::Branch;
+            // The reference decoder resolves the target against the
+            // PC after the displacement bytes — a static quantity.
+            spec.value = cur + static_cast<std::uint32_t>(
+                                   sext(raw, n == 1 ? 8 : 16));
+            continue;
+        }
+
+        Width width = Width::Long;
+        if (use == VaxOpndUse::ReadByte || use == VaxOpndUse::WriteByte)
+            width = Width::Byte;
+        else if (use == VaxOpndUse::ReadHalf ||
+                 use == VaxOpndUse::WriteHalf)
+            width = Width::Half;
+        const unsigned step =
+            width == Width::Byte ? 1 : width == Width::Half ? 2 : 4;
+
+        if (!canPeek(1))
+            return bail();
+        const std::uint8_t specByte = peek();
+        const auto modeNibble = static_cast<std::uint8_t>(specByte >> 4);
+        const auto rn = static_cast<std::uint8_t>(specByte & 0x0f);
+
+        if (modeNibble <= 3) {
+            spec.kind = PredecodedSpec::Kind::ShortLiteral;
+            spec.value = specByte & 0x3f;
+            continue;
+        }
+
+        const auto mode = static_cast<VaxMode>(modeNibble);
+        spec.rn = rn;
+        spec.step = static_cast<std::uint8_t>(step);
+
+        switch (mode) {
+          case VaxMode::Register:
+            // Rn = PC is fine: the reference reads/writes the register
+            // file at execute time, after the PC has advanced past the
+            // whole instruction — which the replay also guarantees.
+            spec.kind = PredecodedSpec::Kind::Register;
+            break;
+          case VaxMode::Deferred:
+            if (rn == vaxPc)
+                return bail();  // EA depends on mid-stream PC
+            spec.kind = PredecodedSpec::Kind::Deferred;
+            break;
+          case VaxMode::AutoDec:
+            if (rn == vaxPc)
+                return bail();  // mutates the PC mid-stream
+            spec.kind = PredecodedSpec::Kind::AutoDec;
+            break;
+          case VaxMode::AutoInc:
+            if (rn == vaxPc) {
+                if (!canPeek(4))
+                    return bail();
+                spec.kind = PredecodedSpec::Kind::Immediate;
+                spec.value = peekLong();
+            } else {
+                spec.kind = PredecodedSpec::Kind::AutoInc;
+            }
+            break;
+          case VaxMode::AutoIncDef:
+            if (rn != vaxPc)
+                return bail();  // step() faults on @(Rn)+
+            if (!canPeek(4))
+                return bail();
+            spec.kind = PredecodedSpec::Kind::Absolute;
+            spec.value = peekLong();
+            break;
+          case VaxMode::DispByte:
+          case VaxMode::DispWord:
+          case VaxMode::DispLong: {
+            if (rn == vaxPc)
+                return bail();  // EA depends on mid-stream PC
+            const unsigned n = mode == VaxMode::DispByte ? 1
+                               : mode == VaxMode::DispWord ? 2
+                                                           : 4;
+            if (!canPeek(n))
+                return bail();
+            std::uint32_t raw = peek();
+            if (n >= 2)
+                raw |= static_cast<std::uint32_t>(peek()) << 8;
+            if (n == 4) {
+                raw |= static_cast<std::uint32_t>(peek()) << 16;
+                raw |= static_cast<std::uint32_t>(peek()) << 24;
+            }
+            spec.kind = PredecodedSpec::Kind::Disp;
+            spec.value = n == 4 ? raw
+                                : static_cast<std::uint32_t>(
+                                      sext(raw, n * 8));
+            break;
+          }
+          default:
+            return bail();  // illegal mode nibble: step() faults
+        }
+        spec.specCycles =
+            static_cast<std::uint8_t>(vaxSpecCycles(mode));
+    }
+
+    out.len = static_cast<std::uint8_t>(cur - addr);
+    for (unsigned i = 0; i < out.len; ++i)
+        out.raw[i] = mem_.peekByte(addr + i);
+}
+
+RunOutcome
+VaxMachine::runFast(std::uint64_t maxSteps)
+{
+    RunOutcome outcome;
+    predecode_.sync(mem_);
+
+    while (!halted_ && outcome.steps < maxSteps) {
+        const std::uint32_t pc = regs_[vaxPc];
+
+        // A PC outside memory has no cache slot; step() raises the
+        // reference fetch fault (fetchByte counts nothing first).
+        if (pc >= mem_.size()) {
+            step();
+            ++outcome.steps;
+            continue;
+        }
+
+        PredecodeCache::Slot &e = predecode_.slot(pc);
+        const PredecodePayload &p = e.payload;
+        bool clean = !e.empty() &&
+                     PredecodeCache::valid(e, mem_, pc, p.len ? p.len : 1);
+        if (!clean) {
+            // Stale or never filled: re-peek and revalidate.  An
+            // unchanged encoding keeps its decode; only genuinely new
+            // bytes pay for a fresh predecode.
+            bool same = !e.empty() && p.len != 0 &&
+                        static_cast<std::uint64_t>(pc) + p.len <=
+                            mem_.size();
+            if (same)
+                for (unsigned i = 0; i < p.len; ++i)
+                    if (e.payload.raw[i] != mem_.peekByte(pc + i)) {
+                        same = false;
+                        break;
+                    }
+            if (!same)
+                predecodeAt(pc, e.payload);
+            PredecodeCache::revalidate(
+                e, mem_, pc, e.payload.len ? e.payload.len : 1);
+        }
+
+        if (p.refStep) {
+            step();
+            ++outcome.steps;
+            continue;
+        }
+
+        // Account the instruction stream exactly as the byte-wise
+        // reference fetch loop would.
+        for (unsigned i = 0; i < p.len; ++i)
+            mem_.countFetch();
+        stats_.instrBytes += p.len;
+
+        ++stats_.instructions;
+        ++stats_.perClass[static_cast<std::size_t>(p.info->cls)];
+        stats_.cycles += p.info->baseCycles;
+
+        // Replay the operand specifiers in stream order: specifier
+        // cycles, operand counters, and auto-inc/dec register updates
+        // happen in the same order and amounts as decodeSpecifier().
+        Ref ops[vaxMaxOperands];
+        for (unsigned i = 0; i < p.info->numOperands; ++i) {
+            const PredecodedSpec &spec = p.specs[i];
+            Ref &ref = ops[i];
+            stats_.cycles += spec.specCycles;
+            switch (spec.kind) {
+              case PredecodedSpec::Kind::ShortLiteral:
+              case PredecodedSpec::Kind::Immediate:
+                ref.kind = Ref::Kind::Literal;
+                ref.value = spec.value;
+                break;
+              case PredecodedSpec::Kind::Register:
+                ref.kind = Ref::Kind::Reg;
+                ref.reg = spec.rn;
+                break;
+              case PredecodedSpec::Kind::Deferred:
+                ref.kind = Ref::Kind::Mem;
+                ref.reg = spec.rn;
+                ref.addr = regs_[spec.rn];
+                ++stats_.regOperandReads;
+                break;
+              case PredecodedSpec::Kind::AutoDec:
+                regs_[spec.rn] -= spec.step;
+                ref.kind = Ref::Kind::Mem;
+                ref.addr = regs_[spec.rn];
+                ++stats_.regOperandReads;
+                ++stats_.regOperandWrites;
+                break;
+              case PredecodedSpec::Kind::AutoInc:
+                ref.kind = Ref::Kind::Mem;
+                ref.addr = regs_[spec.rn];
+                regs_[spec.rn] += spec.step;
+                ++stats_.regOperandReads;
+                ++stats_.regOperandWrites;
+                break;
+              case PredecodedSpec::Kind::Absolute:
+                ref.kind = Ref::Kind::Mem;
+                ref.addr = spec.value;
+                break;
+              case PredecodedSpec::Kind::Disp:
+                ref.kind = Ref::Kind::Mem;
+                ref.addr = regs_[spec.rn] + spec.value;
+                ++stats_.regOperandReads;
+                break;
+              case PredecodedSpec::Kind::Branch:
+                ref.kind = Ref::Kind::Branch;
+                ref.value = spec.value;
+                break;
+            }
+        }
+
+        // The reference decoder leaves the PC past the whole
+        // instruction before execution; branches then overwrite it.
+        regs_[vaxPc] = pc + p.len;
+        execute(*p.info, ops);
+        ++outcome.steps;
+    }
+    outcome.halted = halted_;
+    return outcome;
+}
+
+VaxSnapshot
+VaxMachine::snapshot() const
+{
+    VaxSnapshot s;
+    s.memorySize = config_.memorySize;
+    s.regs = regs_;
+    s.cc = cc_;
+    s.halted = halted_;
+    s.stats = stats_;
+    s.memStats = mem_.stats();
+    s.pages = mem_.dirtyPages();
+    return s;
+}
+
+void
+VaxMachine::restore(const VaxSnapshot &snap)
+{
+    if (snap.memorySize != config_.memorySize)
+        fatal(cat("snapshot restore: memory size ", snap.memorySize,
+                  " != machine's ", config_.memorySize));
+
+    regs_ = snap.regs;
+    cc_ = snap.cc;
+    halted_ = snap.halted;
+    stats_ = snap.stats;
+
+    // restoreContents() clears and replays pages, bumping every
+    // line's write generation — the decode cache revalidates itself
+    // on its next execution with no explicit flush.
+    mem_.restoreContents(snap.pages);
+    mem_.setStats(snap.memStats);
+}
+
 } // namespace risc1

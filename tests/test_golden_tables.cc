@@ -1,11 +1,12 @@
 /**
- * Golden-file tests for the paper-table benches: the complete stdout
- * of `table_window_configs` and `table_execution_time` must match the
- * checked-in goldens under tests/golden/, line for line, after
- * volatile lines (wall-clock timings and artifact paths) are dropped.
- * The simulator is deterministic, so any diff is a real behavior
- * change — either a regression, or an intended change that must be
- * reviewed and committed alongside fresh goldens.
+ * Golden-file tests for the paper-table experiments: the complete
+ * stdout of `riscbench table_window_configs`, `table_execution_time`,
+ * `table_code_size`, and `table_call_cost` must match the checked-in
+ * goldens under tests/golden/, line for line, after volatile lines
+ * (wall-clock timings and artifact paths) are dropped.  The simulator
+ * is deterministic, so any diff is a real behavior change — either a
+ * regression, or an intended change that must be reviewed and
+ * committed alongside fresh goldens.
  *
  * To regenerate after an intended output change, run the test binary
  * directly with the escape hatch and commit the rewritten files:
@@ -68,9 +69,11 @@ filterVolatile(const std::string &text)
 }
 
 void
-checkGolden(const std::string &binary, const std::string &goldenName)
+checkGolden(const std::string &experiment, const std::string &goldenName)
 {
-    const std::string output = filterVolatile(runTool(binary));
+    const std::string command =
+        std::string(RISC1_BIN_RISCBENCH) + " " + experiment;
+    const std::string output = filterVolatile(runTool(command));
     ASSERT_FALSE(output.empty());
     const std::string goldenPath =
         std::string(RISC1_SOURCE_DIR) + "/tests/golden/" + goldenName;
@@ -96,14 +99,22 @@ checkGolden(const std::string &binary, const std::string &goldenName)
 
 TEST(GoldenTables, WindowConfigs)
 {
-    checkGolden(RISC1_BIN_TABLE_WINDOW_CONFIGS,
-                "table_window_configs.txt");
+    checkGolden("table_window_configs", "table_window_configs.txt");
 }
 
 TEST(GoldenTables, ExecutionTime)
 {
-    checkGolden(RISC1_BIN_TABLE_EXECUTION_TIME,
-                "table_execution_time.txt");
+    checkGolden("table_execution_time", "table_execution_time.txt");
+}
+
+TEST(GoldenTables, CodeSize)
+{
+    checkGolden("table_code_size", "table_code_size.txt");
+}
+
+TEST(GoldenTables, CallCost)
+{
+    checkGolden("table_call_cost", "table_call_cost.txt");
 }
 
 } // namespace

@@ -8,6 +8,9 @@
 #include "sim/artifact.hh"
 #include "sim/engine.hh"
 #include "sim/jobfile.hh"
+#include "target/risc_target.hh"
+#include "target/vax_target.hh"
+#include "vax/vassembler.hh"
 #include "workloads/workloads.hh"
 
 namespace risc1 {
@@ -15,7 +18,6 @@ namespace {
 
 using sim::JobStatus;
 using sim::SimJob;
-using sim::SimMachine;
 
 std::string
 statsJson(const RunStats &stats)
@@ -25,7 +27,14 @@ statsJson(const RunStats &stats)
     return w.str();
 }
 
-/** A mixed job set exercising both machines and several configs. */
+/** The RISC counters of a result, checked. */
+const RunStats &
+riscRun(const sim::SimResult &result)
+{
+    return target::riscStats(*result.stats).run;
+}
+
+/** A mixed job set exercising both backends and several configs. */
 std::vector<SimJob>
 mixedJobs()
 {
@@ -42,20 +51,20 @@ mixedJobs()
         SimJob gold;
         gold.id = std::string(id) + "/gold";
         gold.source = w.riscSource;
-        gold.config.windows = WindowConfig::gold();
+        gold.config.risc.windows = WindowConfig::gold();
         gold.expected = w.expected;
         jobs.push_back(std::move(gold));
 
         SimJob cached;
         cached.id = std::string(id) + "/icache";
         cached.source = w.riscSource;
-        cached.config.icache = CacheConfig{256, 16, 4};
+        cached.config.risc.icache = CacheConfig{256, 16, 4};
         cached.expected = w.expected;
         jobs.push_back(std::move(cached));
 
         SimJob vax;
         vax.id = std::string(id) + "/cisc";
-        vax.machine = SimMachine::Vax;
+        vax.backend = "vax";
         vax.source = w.vaxSource;
         vax.expected = w.expected;
         jobs.push_back(std::move(vax));
@@ -101,7 +110,7 @@ TEST(SimEngine, MatchesDirectWorkloadRun)
     const auto results = sim::runBatch({job}, {2});
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].status, JobStatus::Ok) << results[0].error;
-    EXPECT_EQ(statsJson(results[0].stats), statsJson(direct.stats));
+    EXPECT_EQ(statsJson(riscRun(results[0])), statsJson(direct.stats));
     EXPECT_EQ(results[0].checksum, w.expected);
     EXPECT_EQ(results[0].codeBytes, direct.codeBytes);
 }
@@ -133,10 +142,14 @@ loop:   inc   r1
 
     EXPECT_EQ(results[0].status, JobStatus::Error);
     EXPECT_FALSE(results[0].error.empty());
+    // A failed job still carries its backend's (all-zero) stats so the
+    // artifact schema never loses blocks.
+    ASSERT_TRUE(results[0].stats);
+    EXPECT_EQ(results[0].stats->instructions(), 0u);
 
     EXPECT_EQ(results[1].status, JobStatus::StepLimit);
     EXPECT_EQ(results[1].steps, 100u);
-    EXPECT_GT(results[1].stats.instructions, 0u);
+    EXPECT_GT(results[1].stats->instructions(), 0u);
 
     EXPECT_EQ(results[2].status, JobStatus::Ok) << results[2].error;
     EXPECT_EQ(results[2].checksum, w.expected);
@@ -155,6 +168,19 @@ TEST(SimEngine, ChecksumMismatchIsAnError)
     EXPECT_NE(results[0].error.find("checksum"), std::string::npos);
 }
 
+TEST(SimEngine, UnknownBackendNamesTheValidOptions)
+{
+    SimJob job;
+    job.id = "bogus";
+    job.backend = "mips";
+    const auto results = sim::runBatch({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Error);
+    EXPECT_NE(results[0].error.find("mips"), std::string::npos);
+    EXPECT_NE(results[0].error.find("risc"), std::string::npos);
+    EXPECT_NE(results[0].error.find("vax"), std::string::npos);
+}
+
 TEST(SimEngine, SnapshotForkMatchesFreshRun)
 {
     const Workload &w = findWorkload("fib_rec");
@@ -169,13 +195,13 @@ TEST(SimEngine, SnapshotForkMatchesFreshRun)
     SimJob forked;
     forked.id = "forked";
     forked.base =
-        std::make_shared<const MachineSnapshot>(loaded.snapshot());
+        std::make_shared<target::RiscTargetSnapshot>(loaded.snapshot());
     forked.expected = w.expected;
 
     // Fork the same prologue onto a cache-equipped sweep point too.
     SimJob forkedCached = forked;
     forkedCached.id = "forked-icache";
-    forkedCached.config.icache = CacheConfig{512, 16, 4};
+    forkedCached.config.risc.icache = CacheConfig{512, 16, 4};
 
     const auto results =
         sim::runBatch({fresh, forked, forkedCached}, {2});
@@ -184,23 +210,55 @@ TEST(SimEngine, SnapshotForkMatchesFreshRun)
 
     // Architectural results agree everywhere; the cached fork only
     // adds i-cache miss cycles.
-    EXPECT_EQ(statsJson(results[0].stats), statsJson(results[1].stats));
+    EXPECT_EQ(statsJson(riscRun(results[0])),
+              statsJson(riscRun(results[1])));
     EXPECT_EQ(results[2].checksum, w.expected);
-    EXPECT_EQ(results[2].stats.instructions,
-              results[0].stats.instructions);
-    EXPECT_GT(results[2].icache.accesses(), 0u);
+    EXPECT_EQ(riscRun(results[2]).instructions,
+              riscRun(results[0]).instructions);
+    EXPECT_GT(target::riscStats(*results[2].stats).icache.accesses(),
+              0u);
 }
 
-TEST(SimEngine, VaxSnapshotForkIsRejected)
+TEST(SimEngine, VaxSnapshotForkMatchesFreshRun)
+{
+    const Workload &w = findWorkload("fib_rec");
+
+    SimJob fresh;
+    fresh.id = "fresh";
+    fresh.backend = "vax";
+    fresh.source = w.vaxSource;
+    fresh.expected = w.expected;
+
+    VaxMachine loaded;
+    loaded.loadProgram(assembleVax(w.vaxSource));
+    SimJob forked;
+    forked.id = "forked";
+    forked.backend = "cisc"; // alias resolves to the same backend
+    forked.base =
+        std::make_shared<target::VaxTargetSnapshot>(loaded.snapshot());
+    forked.expected = w.expected;
+
+    const auto results = sim::runBatch({fresh, forked}, {2});
+    for (const auto &r : results)
+        ASSERT_EQ(r.status, JobStatus::Ok) << r.id << ": " << r.error;
+
+    EXPECT_EQ(results[1].backend, "vax");
+    EXPECT_EQ(target::vaxStats(*results[0].stats).vax,
+              target::vaxStats(*results[1].stats).vax);
+}
+
+TEST(SimEngine, CrossBackendSnapshotIsRejected)
 {
     Machine loaded;
     SimJob job;
-    job.id = "vax-fork";
-    job.machine = SimMachine::Vax;
-    job.base = std::make_shared<const MachineSnapshot>(loaded.snapshot());
+    job.id = "vax-fork-of-risc-snapshot";
+    job.backend = "vax";
+    job.base =
+        std::make_shared<target::RiscTargetSnapshot>(loaded.snapshot());
     const auto results = sim::runBatch({job});
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].status, JobStatus::Error);
+    EXPECT_NE(results[0].error.find("risc"), std::string::npos);
 }
 
 TEST(SimEngine, ArtifactRendersAllJobs)
@@ -214,6 +272,9 @@ TEST(SimEngine, ArtifactRendersAllJobs)
     // Spot-check one structured field name from each stats block.
     EXPECT_NE(json.find("\"windowOverflows\""), std::string::npos);
     EXPECT_NE(json.find("\"memOperandReads\""), std::string::npos);
+    // Baseline jobs are reported under the canonical backend name.
+    EXPECT_NE(json.find("\"machine\": \"vax\""), std::string::npos);
+    EXPECT_EQ(json.find("\"machine\": \"cisc\""), std::string::npos);
 }
 
 TEST(JobFile, ParsesSectionsKeysAndDefaults)
@@ -240,17 +301,17 @@ expect   = 7
     ASSERT_EQ(jobs.size(), 3u);
 
     EXPECT_EQ(jobs[0].id, "a");
-    EXPECT_EQ(jobs[0].config.windows.numWindows, 6u);
+    EXPECT_EQ(jobs[0].config.risc.windows.numWindows, 6u);
     EXPECT_EQ(jobs[0].expected, findWorkload("fib_rec").expected);
 
     EXPECT_EQ(jobs[1].id, "job1");
-    EXPECT_EQ(jobs[1].machine, SimMachine::Vax);
+    EXPECT_EQ(jobs[1].backend, "vax"); // legacy "cisc" canonicalized
     EXPECT_EQ(jobs[1].expected, findWorkload("sieve").expected);
 
     EXPECT_EQ(jobs[2].id, "c");
-    EXPECT_FALSE(jobs[2].config.windowedCalls);
-    ASSERT_TRUE(jobs[2].config.icache.has_value());
-    EXPECT_EQ(jobs[2].config.icache->sizeBytes, 1024u);
+    EXPECT_FALSE(jobs[2].config.risc.windowedCalls);
+    ASSERT_TRUE(jobs[2].config.risc.icache.has_value());
+    EXPECT_EQ(jobs[2].config.risc.icache->sizeBytes, 1024u);
     EXPECT_EQ(jobs[2].maxSteps, 12345u);
     EXPECT_EQ(jobs[2].expected, 7u);
 }
@@ -268,6 +329,31 @@ TEST(JobFile, RejectsMalformedInput)
                  FatalError);
     EXPECT_THROW(sim::parseJobText("[job]\nworkload = no_such\n"),
                  FatalError);
+}
+
+TEST(JobFile, UnknownNamesReportTheValidOptions)
+{
+    // Unknown machine names and unknown keys both fail with one-line
+    // messages that name the valid choices.
+    try {
+        sim::parseJobText("[job]\nworkload = fib_rec\n"
+                          "machine = mips\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("mips"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("risc"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("vax/cisc"), std::string::npos) << msg;
+    }
+    try {
+        sim::parseJobText("[job]\nworkloud = fib_rec\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("workloud"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("workload"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("maxsteps"), std::string::npos) << msg;
+    }
 }
 
 } // namespace

@@ -1,0 +1,176 @@
+/** Tests for the VaxMachine snapshot/checkpoint API (the CISC
+ *  baseline's mirror of tests/test_snapshot.cc). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "vax/vassembler.hh"
+#include "vax/vmachine.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1 {
+namespace {
+
+std::string
+memJson(const MemoryStats &stats)
+{
+    JsonWriter w;
+    stats.writeJson(w);
+    return w.str();
+}
+
+void
+loadVax(VaxMachine &m, const std::string &source)
+{
+    m.loadProgram(assembleVax(source));
+}
+
+/** Run @p m to completion, returning the executed step count. */
+std::uint64_t
+finish(VaxMachine &m)
+{
+    std::uint64_t steps = 0;
+    while (m.step())
+        ++steps;
+    return steps;
+}
+
+/**
+ * The core round-trip property: snapshot mid-run, restore into a
+ * fresh machine, and the restored run must finish with exactly the
+ * final state of both the interrupted machine and an uninterrupted
+ * reference run.
+ */
+void
+checkRoundTripAt(const std::string &source, const VaxConfig &config,
+                 std::uint64_t snapshotAfter)
+{
+    // Uninterrupted reference.
+    VaxMachine ref(config);
+    loadVax(ref, source);
+    const std::uint64_t total = finish(ref);
+
+    // Interrupted run: stop, snapshot, continue.  Clamp the snapshot
+    // point into the program for short workloads.
+    VaxMachine a(config);
+    loadVax(a, source);
+    snapshotAfter = std::min(snapshotAfter, total / 2);
+    for (std::uint64_t i = 0; i < snapshotAfter && !a.halted(); ++i)
+        a.step();
+    ASSERT_FALSE(a.halted()) << "snapshot point is past the program end";
+    const VaxSnapshot snap = a.snapshot();
+    finish(a);
+
+    // Restored run in a brand-new machine.
+    VaxMachine b(config);
+    b.restore(snap);
+    EXPECT_EQ(b.pc(), snap.regs[vaxPc]);
+    finish(b);
+
+    for (const VaxMachine *m : {&a, &b}) {
+        EXPECT_TRUE(m->stats() == ref.stats());
+        EXPECT_EQ(memJson(m->memory().stats()),
+                  memJson(ref.memory().stats()));
+        EXPECT_EQ(m->reg(0), ref.reg(0));
+        EXPECT_TRUE(m->cc() == ref.cc());
+    }
+}
+
+TEST(VaxSnapshot, RoundTripSimpleLoop)
+{
+    checkRoundTripAt(R"(
+start:  clrl   r0
+        movl   #100, r2
+loop:   addl2  r2, r0
+        sobgtr r2, loop
+        halt
+)",
+                     VaxConfig{}, 50);
+}
+
+TEST(VaxSnapshot, RoundTripAllWorkloads)
+{
+    // Mid-run for every workload: the snapshot must carry call frames,
+    // stack memory, and every accounting counter.
+    for (const Workload &w : allWorkloads()) {
+        SCOPED_TRACE(w.id);
+        checkRoundTripAt(w.vaxSource, VaxConfig{}, 500);
+    }
+}
+
+TEST(VaxSnapshot, SnapshotIsByValue)
+{
+    // Continuing the source machine must not disturb a taken snapshot.
+    const Workload &w = findWorkload("fib_rec");
+    VaxMachine a;
+    loadVax(a, w.vaxSource);
+    for (int i = 0; i < 200; ++i)
+        a.step();
+    const VaxSnapshot snap = a.snapshot();
+    const VaxSnapshot copy = snap;
+    finish(a);
+    EXPECT_TRUE(snap == copy);
+    EXPECT_FALSE(a.snapshot() == snap);
+}
+
+TEST(VaxSnapshot, DirtyMemoryIsCaptured)
+{
+    VaxMachine a;
+    loadVax(a, R"(
+start:  movl  #1234, r1
+        movl  r1, 0x4000
+        movl  r1, 0x4004
+        halt
+)");
+    finish(a);
+    const VaxSnapshot snap = a.snapshot();
+
+    VaxMachine b;
+    b.restore(snap);
+    EXPECT_EQ(b.memory().peekWord(0x4000), 1234u);
+    EXPECT_EQ(b.memory().peekWord(0x4004), 1234u);
+    EXPECT_TRUE(b.halted());
+}
+
+TEST(VaxSnapshot, TimingRecalibrationFork)
+{
+    // The engine's fork pattern: one executed prologue restored into a
+    // machine with different *timing* parameters (allowed — only the
+    // memory size is a compatibility fingerprint).  The architectural
+    // result must match a from-scratch run under the new calibration.
+    const Workload &w = findWorkload("sieve");
+    VaxMachine a;
+    loadVax(a, w.vaxSource);
+    const VaxSnapshot snap = a.snapshot(); // freshly loaded, not run
+
+    VaxConfig slowMem;
+    slowMem.memAccessCycles = 3;
+    VaxMachine forked(slowMem);
+    forked.restore(snap);
+    finish(forked);
+
+    VaxMachine ref(slowMem);
+    loadVax(ref, w.vaxSource);
+    finish(ref);
+
+    EXPECT_EQ(forked.reg(0), w.expected);
+    EXPECT_TRUE(forked.stats() == ref.stats());
+}
+
+TEST(VaxSnapshot, RestoreRejectsMismatchedMemorySize)
+{
+    VaxMachine big;
+    const VaxSnapshot snap = big.snapshot();
+
+    VaxConfig smallMem;
+    smallMem.memorySize = 1u << 20;
+    smallMem.stackTop = 0x000f0000;
+    VaxMachine small(smallMem);
+    EXPECT_THROW(small.restore(snap), FatalError);
+}
+
+} // namespace
+} // namespace risc1
