@@ -1,0 +1,8 @@
+; Faults on purpose: the third instruction performs a misaligned
+; 4-byte load, which raises a simulator fault.  Used by the
+; riscbatch_failing ctest (examples/programs/failing.jobs) to exercise
+; the engine's postmortem replay and riscbatch's nonzero exit status.
+start:  ldi   r2, 3
+        ldi   r3, 7
+        ldl   r4, (r2)
+        halt

@@ -1,12 +1,22 @@
 /**
  * riscbatch — run a declarative job file on the batch-simulation
- * engine and (optionally) write the structured JSON artifact.
+ * engine and (optionally) write the structured JSON artifact and a
+ * worker timeline.
  *
- *     riscbatch [--workers N] [--out artifact.json] jobs.file
+ *     riscbatch [--workers N] [--out artifact.json]
+ *               [--trace-out timeline.json] jobs.file
  *     riscbatch --list-workloads
  *
  * The job-file format and artifact schema are documented in
  * docs/SIM.md; examples/programs/sweep.jobs is a worked example.
+ * `--trace-out` writes a Chrome trace-event timeline — one lane per
+ * worker, one span per job — loadable in ui.perfetto.dev (see
+ * docs/OBSERVABILITY.md).  With `--out`, the artifact additionally
+ * carries the engine metrics (per-job timing, worker utilization,
+ * queue-depth samples).
+ *
+ * Exit status: 0 only when every job finished ok; 1 when any job
+ * failed (or on a driver error); 2 on a usage error.
  */
 
 #include <cstring>
@@ -15,6 +25,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/timeline.hh"
 #include "sim/artifact.hh"
 #include "sim/engine.hh"
 #include "sim/jobfile.hh"
@@ -27,10 +38,37 @@ namespace {
 int
 usage()
 {
-    std::cerr << "usage: riscbatch [--workers N] [--out artifact.json] "
-                 "jobs.file\n"
+    std::cerr << "usage: riscbatch [--workers N] [--out artifact.json]\n"
+                 "                 [--trace-out timeline.json] jobs.file\n"
                  "       riscbatch --list-workloads\n";
     return 2;
+}
+
+/** Render the batch as a worker timeline: one lane per worker. */
+std::string
+writeTimeline(const std::string &path, const sim::BatchReport &report)
+{
+    std::vector<std::string> lanes;
+    lanes.reserve(report.metrics.workers);
+    for (unsigned i = 0; i < report.metrics.workers; ++i)
+        lanes.push_back(cat("worker ", i));
+
+    std::vector<obs::TimelineSpan> spans;
+    spans.reserve(report.results.size());
+    for (const auto &r : report.results) {
+        obs::TimelineSpan span;
+        span.name = r.id;
+        span.lane = r.metrics.worker;
+        span.startMs = r.metrics.startMs;
+        span.durMs = r.metrics.wallMs;
+        span.args = {
+            {"status", std::string(sim::jobStatusName(r.status))},
+            {"machine", r.backend},
+            {"steps", cat(r.steps)},
+        };
+        spans.push_back(std::move(span));
+    }
+    return obs::writeChromeTrace(path, "riscbatch", lanes, spans);
 }
 
 } // namespace
@@ -38,7 +76,7 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string jobPath, outPath;
+    std::string jobPath, outPath, tracePath;
     sim::BatchOptions options;
 
     for (int i = 1; i < argc; ++i) {
@@ -62,6 +100,14 @@ main(int argc, char **argv)
             if (++i == argc)
                 return usage();
             outPath = argv[i];
+        } else if (arg == "--trace-out") {
+            if (++i == argc)
+                return usage();
+            tracePath = argv[i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            tracePath = arg.substr(std::strlen("--trace-out="));
+            if (tracePath.empty())
+                return usage();
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else if (jobPath.empty()) {
@@ -75,7 +121,8 @@ main(int argc, char **argv)
 
     try {
         const auto jobs = sim::loadJobFile(jobPath);
-        const auto results = sim::runBatch(jobs, options);
+        const auto report = sim::runBatchReport(jobs, options);
+        const auto &results = report.results;
 
         Table table({"job", "machine", "status", "steps", "cycles",
                      "instrs", "checksum"});
@@ -96,16 +143,24 @@ main(int argc, char **argv)
             if (r.status != sim::JobStatus::Ok) {
                 ++failures;
                 std::cerr << "job '" << r.id << "': " << r.error << "\n";
+                if (!r.postmortem.empty())
+                    std::cerr << r.postmortem;
             }
         }
         table.print(std::cout);
-        std::cout << results.size() << " jobs on "
-                  << sim::resolveWorkers(options) << " workers, "
-                  << failures << " failed\n";
+        std::cout << results.size() << " jobs on " << report.metrics.workers
+                  << " workers, " << failures << "/" << results.size()
+                  << " failed\n";
 
-        if (!outPath.empty())
+        if (!outPath.empty()) {
+            const sim::ArtifactOptions artOpts{&report.metrics};
             std::cout << "artifact: "
-                      << sim::writeArtifact(outPath, jobPath, results)
+                      << sim::writeArtifact(outPath, jobPath, results,
+                                            artOpts)
+                      << "\n";
+        }
+        if (!tracePath.empty())
+            std::cout << "timeline: " << writeTimeline(tracePath, report)
                       << "\n";
         return failures == 0 ? 0 : 1;
     } catch (const std::exception &e) {

@@ -7,12 +7,20 @@
  *   $ ./riscsim --windows 4 prog.s     # window-count override
  *   $ ./riscsim --no-windows prog.s    # single-window ablation
  *   $ ./riscsim --trace prog.s         # per-instruction trace
+ *   $ ./riscsim --trace-jsonl t.jsonl prog.s  # machine-readable trace
  *   $ ./riscsim --disasm prog.s        # disassemble, don't run
  *   $ ./riscsim --reorganize prog.s    # fill delay slots, then run
+ *
+ * Tracing goes through the observability layer (src/obs/): --trace
+ * prints one line per executed instruction (plus window traps and
+ * interrupts) to stdout, --trace-jsonl writes the same event stream as
+ * JSON lines to a file; both work on either backend.  See
+ * docs/OBSERVABILITY.md for the formats.
  */
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +30,7 @@
 #include "common/logging.hh"
 #include "core/machine.hh"
 #include "isa/disasm.hh"
+#include "obs/trace.hh"
 #include "vax/vassembler.hh"
 #include "vax/vdisasm.hh"
 #include "vax/vmachine.hh"
@@ -34,10 +43,53 @@ int
 usage()
 {
     std::cerr << "usage: riscsim [--cisc] [--windows N] [--no-windows] "
-                 "[--trace] [--disasm]\n               [--max-steps N] "
-                 "<file.s>\n";
+                 "[--trace] [--disasm]\n               "
+                 "[--trace-jsonl FILE] [--max-steps N] <file.s>\n";
     return 2;
 }
+
+/**
+ * The tracer requested on the command line, plus the sinks and streams
+ * it writes through (sinks are non-owning, so they live here).
+ */
+struct CliTrace
+{
+    bool enabled() const { return text || jsonl; }
+
+    /** Build the Trace; valid until this object is destroyed. */
+    obs::Trace *
+    build(bool textOut, const std::string &jsonlPath)
+    {
+        if (textOut)
+            text.emplace(std::cout);
+        if (!jsonlPath.empty()) {
+            jsonlFile.open(jsonlPath, std::ios::trunc);
+            if (!jsonlFile)
+                fatal("cannot open trace file '" + jsonlPath + "'");
+            jsonl.emplace(jsonlFile);
+        }
+        if (!enabled())
+            return nullptr;
+        trace.emplace(/*capacity=*/64);
+        if (text)
+            trace->addSink(*text);
+        if (jsonl)
+            trace->addSink(*jsonl);
+        return &*trace;
+    }
+
+    void
+    finish()
+    {
+        if (trace)
+            trace->flush();
+    }
+
+    std::optional<obs::TextSink> text;
+    std::ofstream jsonlFile;
+    std::optional<obs::JsonlSink> jsonl;
+    std::optional<obs::Trace> trace;
+};
 
 std::string
 readFile(const std::string &path)
@@ -52,8 +104,8 @@ readFile(const std::string &path)
 
 int
 runRisc(const std::string &source, unsigned windows, bool windowed,
-        bool trace, bool disasmOnly, bool reorganize,
-        std::uint64_t maxSteps)
+        bool trace, const std::string &traceJsonl, bool disasmOnly,
+        bool reorganize, std::uint64_t maxSteps)
 {
     Program program = assembleRisc(source);
     if (reorganize) {
@@ -86,14 +138,10 @@ runRisc(const std::string &source, unsigned windows, bool windowed,
     config.windowedCalls = windowed;
     Machine machine(config);
     machine.loadProgram(program);
-    if (trace) {
-        machine.setTraceHook(
-            [](std::uint32_t pc, const Instruction &inst) {
-                std::printf("%08x:  %s\n", pc,
-                            disassemble(inst).c_str());
-            });
-    }
+    CliTrace tracer;
+    machine.setTrace(tracer.build(trace, traceJsonl));
     machine.run(maxSteps);
+    tracer.finish();
 
     std::cout << machine.stats().summary() << "registers:\n";
     for (unsigned r = 0; r < 32; r += 4) {
@@ -105,7 +153,8 @@ runRisc(const std::string &source, unsigned windows, bool windowed,
 }
 
 int
-runCisc(const std::string &source, bool disasmOnly,
+runCisc(const std::string &source, bool trace,
+        const std::string &traceJsonl, bool disasmOnly,
         std::uint64_t maxSteps)
 {
     const Program program = assembleVax(source);
@@ -123,7 +172,10 @@ runCisc(const std::string &source, bool disasmOnly,
 
     VaxMachine machine;
     machine.loadProgram(program);
+    CliTrace tracer;
+    machine.setTrace(tracer.build(trace, traceJsonl));
     machine.run(maxSteps);
+    tracer.finish();
 
     const VaxStats &s = machine.stats();
     std::cout << "cycles:       " << s.cycles << "\n"
@@ -152,7 +204,7 @@ main(int argc, char **argv)
     bool windowed = true;
     unsigned windows = 8;
     std::uint64_t maxSteps = 200'000'000;
-    std::string path;
+    std::string path, traceJsonl;
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -161,6 +213,8 @@ main(int argc, char **argv)
             cisc = true;
         } else if (arg == "--trace") {
             trace = true;
+        } else if (arg == "--trace-jsonl" && i + 1 < args.size()) {
+            traceJsonl = args[++i];
         } else if (arg == "--disasm") {
             disasmOnly = true;
         } else if (arg == "--reorganize") {
@@ -182,9 +236,11 @@ main(int argc, char **argv)
 
     try {
         const std::string source = readFile(path);
-        return cisc ? runCisc(source, disasmOnly, maxSteps)
+        return cisc ? runCisc(source, trace, traceJsonl, disasmOnly,
+                              maxSteps)
                     : runRisc(source, windows, windowed, trace,
-                              disasmOnly, reorganize, maxSteps);
+                              traceJsonl, disasmOnly, reorganize,
+                              maxSteps);
     } catch (const FatalError &e) {
         std::cerr << "riscsim: " << e.what() << "\n";
         return 1;

@@ -15,6 +15,7 @@
 #include "asm/assembler.hh"
 #include "core/machine.hh"
 #include "isa/disasm.hh"
+#include "obs/trace.hh"
 
 using namespace risc1;
 
@@ -67,21 +68,46 @@ main(int argc, char **argv)
 
     std::uint64_t lastOvf = 0, lastUnf = 0;
     std::int64_t lastDepth = 0;
-    machine.setTraceHook([&](std::uint32_t pc, const Instruction &inst) {
-        (void)pc;
-        const OpcodeInfo *info = opcodeInfo(inst.op);
-        if (info->cls != InstClass::CallRet)
-            return;
-        std::cout << "  " << std::setw(3) << machine.regFile().cwp()
-                  << "  " << std::setw(8) << machine.residentFrames()
-                  << " " << std::setw(5) << machine.savedFrames()
-                  << "  " << std::setw(5) << lastDepth << "  "
-                  << disassemble(inst);
-        if (inst.op == Opcode::Call || inst.op == Opcode::Callr)
-            std::cout << "   (r10=" << machine.reg(10)
-                      << " becomes callee's r26)";
-        std::cout << "\n";
-    });
+
+    // A trace sink that narrates call/return events.  Events are
+    // recorded before the instruction executes, so the machine state
+    // read here is the pre-execution state; the instruction itself is
+    // re-decoded from memory at the event's pc.
+    struct CallRetNarrator final : obs::TraceSink
+    {
+        Machine &machine;
+        const std::int64_t &lastDepth;
+
+        CallRetNarrator(Machine &m, const std::int64_t &depth)
+            : machine(m), lastDepth(depth)
+        {
+        }
+
+        void
+        event(const obs::TraceEvent &ev) override
+        {
+            if (ev.kind != obs::EventKind::Instruction)
+                return;
+            const Instruction inst =
+                Instruction::decode(machine.memory().peekWord(ev.pc));
+            const OpcodeInfo *info = opcodeInfo(inst.op);
+            if (info->cls != InstClass::CallRet)
+                return;
+            std::cout << "  " << std::setw(3) << machine.regFile().cwp()
+                      << "  " << std::setw(8) << machine.residentFrames()
+                      << " " << std::setw(5) << machine.savedFrames()
+                      << "  " << std::setw(5) << lastDepth << "  "
+                      << disassemble(inst);
+            if (inst.op == Opcode::Call || inst.op == Opcode::Callr)
+                std::cout << "   (r10=" << machine.reg(10)
+                          << " becomes callee's r26)";
+            std::cout << "\n";
+        }
+    } narrator(machine, lastDepth);
+
+    obs::Trace trace(1);
+    trace.addSink(narrator);
+    machine.setTrace(&trace);
 
     while (machine.step()) {
         const RunStats &s = machine.stats();

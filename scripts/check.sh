@@ -11,7 +11,7 @@
 #
 # ctest runs in labeled stages (see docs/TESTING.md) so a failure names
 # the ring that broke: unit -> property -> differential -> target ->
-# vax -> golden -> bench.
+# vax -> obs -> golden -> bench.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +34,7 @@ cmake --build "$BUILD" -j
 
 run_stages() {
     dir="$1"
-    for label in unit property differential target vax golden bench; do
+    for label in unit property differential target vax obs golden bench; do
         echo
         echo "== ctest stage: $label =="
         (cd "$dir" && ctest -L "$label" --output-on-failure -j)
@@ -55,6 +55,19 @@ for exp in table_window_configs table_execution_time fig_icache_sweep; do
     (cd "$BUILD" && ./bench/riscbench "$exp" > /dev/null)
     test -s "$BUILD/bench/out/$exp.json" || {
         echo "missing artifact: $BUILD/bench/out/$exp.json" >&2
+        exit 1
+    }
+done
+
+echo
+echo "== batch smoke: riscbatch artifact + timeline =="
+(cd "$BUILD" && ./examples/riscbatch --workers 2 \
+    --out bench/out/riscbatch_smoke.json \
+    --trace-out=bench/out/riscbatch_timeline.json \
+    ../examples/programs/sweep.jobs > /dev/null)
+for f in riscbatch_smoke.json riscbatch_timeline.json; do
+    test -s "$BUILD/bench/out/$f" || {
+        echo "missing artifact: $BUILD/bench/out/$f" >&2
         exit 1
     }
 done

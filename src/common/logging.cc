@@ -1,11 +1,37 @@
 #include "common/logging.hh"
 
 #include <iostream>
+#include <mutex>
+#include <string_view>
 
 namespace risc1 {
 
 namespace {
 bool verboseOutput = true;
+
+/**
+ * One process-wide writer lock for status output.  warn()/inform()
+ * are called from batch-engine worker threads (a faulting job, a
+ * suspicious configuration), and unsynchronized stderr writes from
+ * several workers interleave mid-line; composing the full line first
+ * and writing it under the mutex keeps every message atomic.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+writeLine(std::string_view prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(prefix.size() + msg.size() + 1);
+    line.append(prefix).append(msg).push_back('\n');
+    const std::lock_guard lock(logMutex());
+    std::cerr << line;
+}
 } // namespace
 
 void
@@ -24,14 +50,14 @@ void
 warn(const std::string &msg)
 {
     if (verboseOutput)
-        std::cerr << "warn: " << msg << "\n";
+        writeLine("warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
     if (verboseOutput)
-        std::cerr << "info: " << msg << "\n";
+        writeLine("info: ", msg);
 }
 
 void

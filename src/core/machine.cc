@@ -4,6 +4,8 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "obs/trace.hh"
 
 namespace risc1 {
 
@@ -256,6 +258,11 @@ Machine::spillOldestFrame()
         stats_.spillWords += fsize;
         stats_.cycles += config_.timing.trapOverheadCycles +
                          fsize * config_.timing.trapPerWordCycles;
+        if (trace_)
+            trace_->record({obs::EventKind::Trap, stats_.instructions,
+                            stats_.cycles, pc_,
+                            cat("window overflow: spilled ", fsize,
+                                " words, ", saved_, " frame(s) saved")});
     }
 }
 
@@ -281,6 +288,12 @@ Machine::fillCurrentFrame()
         stats_.fillWords += fsize;
         stats_.cycles += config_.timing.trapOverheadCycles +
                          fsize * config_.timing.trapPerWordCycles;
+        if (trace_)
+            trace_->record({obs::EventKind::Trap, stats_.instructions,
+                            stats_.cycles, pc_,
+                            cat("window underflow: filled ", fsize,
+                                " words, ", saved_,
+                                " frame(s) still saved")});
     }
 }
 
@@ -583,6 +596,11 @@ Machine::maybeAcceptInterrupt()
         npc_ = interruptVector_ + 4;
         inDelaySlot_ = false; // the handler entry is not a slot
         stats_.cycles += config_.timing.trapOverheadCycles;
+        if (trace_)
+            trace_->record({obs::EventKind::Interrupt,
+                            stats_.instructions, stats_.cycles, pc_,
+                            cat("interrupt accepted: vector 0x",
+                                std::hex, interruptVector_)});
     }
 }
 
@@ -600,8 +618,11 @@ Machine::step()
     const std::uint32_t word = mem_.fetchWord(pc_);
     const Instruction inst = Instruction::decode(word);
 
-    if (traceHook_)
-        traceHook_(pc_, inst);
+    // Recorded before execution, so a faulting instruction is the last
+    // event in the ring when its fault unwinds (postmortem.hh).
+    if (trace_)
+        trace_->record({obs::EventKind::Instruction, stats_.instructions,
+                        stats_.cycles, pc_, disassemble(inst)});
 
     ++stats_.instructions;
     ++stats_.perOpcode[static_cast<std::uint8_t>(inst.op)];
@@ -833,10 +854,10 @@ Machine::runFast(std::uint64_t maxSteps)
 {
     RunOutcome outcome;
 
-    // A trace hook must observe every instruction in decode order;
-    // fall back to the reference interpreter so hook semantics (and
+    // A tracer must observe every instruction in decode order; fall
+    // back to the reference interpreter so trace semantics (and
     // everything else) are unchanged.
-    if (traceHook_) {
+    if (trace_) {
         while (!halted_ && outcome.steps < maxSteps) {
             step();
             ++outcome.steps;

@@ -30,7 +30,6 @@
 #define RISC1_CORE_MACHINE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,6 +43,10 @@
 #include "memory/cache.hh"
 #include "memory/memory.hh"
 #include "target/decode_cache.hh"
+
+namespace risc1::obs {
+class Trace;
+} // namespace risc1::obs
 
 namespace risc1 {
 
@@ -222,8 +225,9 @@ class Machine
      * identical, including across self-modifying code and snapshot
      * restore (the decode cache keys on Memory's per-line write
      * generations, so any content change invalidates it).  When a
-     * trace hook is installed the engine falls back to step() so the
-     * hook observes every instruction; see docs/SIM.md.
+     * tracer is installed (setTrace) the engine falls back to step()
+     * so the trace observes every instruction; see docs/SIM.md and
+     * docs/OBSERVABILITY.md.
      */
     RunOutcome runFast(std::uint64_t maxSteps = 200'000'000);
 
@@ -247,10 +251,16 @@ class Machine
     void setRecordCallTrace(bool on) { recordCalls_ = on; }
     const std::vector<CallEvent> &callTrace() const { return callTrace_; }
 
-    /** Optional per-instruction hook (pc, decoded instruction). */
-    using TraceHook =
-        std::function<void(std::uint32_t, const Instruction &)>;
-    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+    /**
+     * Install (or clear, with nullptr) an execution tracer.  While
+     * installed, every executed instruction, window trap, and accepted
+     * interrupt is recorded into @p trace (obs/trace.hh); runFast()
+     * falls back to the reference interpreter so the trace observes
+     * every instruction in decode order.  Non-owning — the Trace must
+     * outlive the registration.  No cost when none is installed.
+     */
+    void setTrace(obs::Trace *trace) { trace_ = trace; }
+    obs::Trace *trace() const { return trace_; }
 
     /**
      * Request an external interrupt to @p vector.  Taken at the next
@@ -358,7 +368,7 @@ class Machine
 
     bool recordCalls_ = false;
     std::vector<CallEvent> callTrace_;
-    TraceHook traceHook_;
+    obs::Trace *trace_ = nullptr;
 
     bool interruptPending_ = false;
     std::uint32_t interruptVector_ = 0;

@@ -1,0 +1,46 @@
+#include "obs/metrics.hh"
+
+#include "common/json.hh"
+
+namespace risc1::obs {
+
+void
+JobMetrics::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("worker", static_cast<std::uint64_t>(worker))
+        .field("queueWaitMs", queueWaitMs)
+        .field("startMs", startMs)
+        .field("wallMs", wallMs)
+        .field("cpuMs", cpuMs)
+        .field("stepsPerSec", stepsPerSec)
+        .endObject();
+}
+
+void
+BatchMetrics::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("workers", static_cast<std::uint64_t>(workers))
+        .field("wallMs", wallMs);
+    w.key("perWorker").beginArray();
+    for (std::size_t i = 0; i < perWorker.size(); ++i) {
+        const WorkerMetrics &m = perWorker[i];
+        w.beginObject()
+            .field("worker", static_cast<std::uint64_t>(i))
+            .field("jobs", m.jobs)
+            .field("busyMs", m.busyMs)
+            .field("utilization", m.utilization)
+            .endObject();
+    }
+    w.endArray();
+    w.key("queueDepth").beginArray();
+    for (const QueueSample &s : queueDepth)
+        w.beginObject()
+            .field("tMs", s.tMs)
+            .field("depth", s.depth)
+            .endObject();
+    w.endArray().endObject();
+}
+
+} // namespace risc1::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Engine metrics: per-job timing, per-worker utilization, and
+ * queue-depth samples collected by the batch engine
+ * (`sim::runBatchReport`).
+ *
+ * These are wall-clock observations — the one deliberately
+ * non-deterministic data the engine produces.  They are therefore kept
+ * out of the default artifact rendering (whose contract is
+ * byte-identical output at any worker count) and emitted only when the
+ * caller opts in (`sim::ArtifactOptions::metrics`); see
+ * docs/OBSERVABILITY.md for the schema and docs/SIM.md for the
+ * artifact contract.
+ */
+
+#ifndef RISC1_OBS_METRICS_HH
+#define RISC1_OBS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace risc1 {
+class JsonWriter;
+} // namespace risc1
+
+namespace risc1::obs {
+
+/** Timing collected around one job's execution. */
+struct JobMetrics
+{
+    /** Worker lane (0-based) the job ran on. */
+    unsigned worker = 0;
+    /** Batch start -> job dequeue (all jobs enqueue at batch start). */
+    double queueWaitMs = 0.0;
+    /** Job start, relative to batch start (== queueWaitMs today). */
+    double startMs = 0.0;
+    /** Job wall time (includes any postmortem replay on a fault). */
+    double wallMs = 0.0;
+    /** Worker-thread CPU time consumed by the job (0 if unsupported). */
+    double cpuMs = 0.0;
+    /** Executed steps per wall-clock second (0 for an instant job). */
+    double stepsPerSec = 0.0;
+
+    /** Write this object as the value of an already-emitted key. */
+    void writeJson(JsonWriter &w) const;
+};
+
+/** One worker thread's share of a batch. */
+struct WorkerMetrics
+{
+    std::uint64_t jobs = 0; ///< jobs this worker completed
+    double busyMs = 0.0;    ///< summed job wall time
+    double utilization = 0.0; ///< busyMs / batch wallMs, in [0, 1]
+};
+
+/** Queue depth observed when a worker dequeued a job. */
+struct QueueSample
+{
+    double tMs = 0.0;          ///< sample time relative to batch start
+    std::uint64_t depth = 0;   ///< jobs still waiting after the pop
+};
+
+/** Whole-batch engine metrics. */
+struct BatchMetrics
+{
+    unsigned workers = 0; ///< resolved worker count
+    double wallMs = 0.0;  ///< batch wall time, enqueue to last join
+    std::vector<WorkerMetrics> perWorker; ///< indexed by worker lane
+    std::vector<QueueSample> queueDepth;  ///< sorted by sample time
+
+    /** Write this object as the value of an already-emitted key. */
+    void writeJson(JsonWriter &w) const;
+};
+
+} // namespace risc1::obs
+
+#endif // RISC1_OBS_METRICS_HH

@@ -1,0 +1,23 @@
+#include "obs/postmortem.hh"
+
+#include <sstream>
+
+namespace risc1::obs {
+
+std::string
+renderPostmortem(const Trace &trace)
+{
+    const std::vector<TraceEvent> events = trace.tail();
+    if (events.empty())
+        return "";
+
+    std::ostringstream os;
+    os << "last " << events.size() << " of " << trace.recorded()
+       << " traced events:\n";
+    TextSink sink(os);
+    for (const TraceEvent &ev : events)
+        sink.event(ev);
+    return os.str();
+}
+
+} // namespace risc1::obs

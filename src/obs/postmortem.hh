@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Postmortem rendering: turn a Trace's ring-buffer tail into a
+ * human-readable instruction history for a fault report.
+ *
+ * The batch engine uses this after a job faults: the simulator is
+ * deterministic, so the worker replays the failed job with a Trace
+ * installed and renders the last ring-capacity events leading up to
+ * the fault into `SimResult::postmortem` — "fault at cycle 48210"
+ * becomes the actual instruction history (see docs/OBSERVABILITY.md).
+ */
+
+#ifndef RISC1_OBS_POSTMORTEM_HH
+#define RISC1_OBS_POSTMORTEM_HH
+
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace risc1::obs {
+
+/**
+ * Render @p trace's ring contents, oldest first, as a multi-line
+ * report headed by "last N of M traced events:".  Returns "" when
+ * nothing was recorded.  Deterministic: depends only on the recorded
+ * events, so a replayed fault renders identically on every run.
+ */
+std::string renderPostmortem(const Trace &trace);
+
+} // namespace risc1::obs
+
+#endif // RISC1_OBS_POSTMORTEM_HH

@@ -1,0 +1,84 @@
+#include "obs/timeline.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace risc1::obs {
+
+namespace {
+
+/** Emit one trace-event metadata record ("ph":"M"). */
+void
+metadataEvent(JsonWriter &w, std::string_view name, unsigned tid,
+              std::string_view value)
+{
+    w.beginObject()
+        .field("name", name)
+        .field("ph", "M")
+        .field("pid", std::uint64_t{0})
+        .field("tid", static_cast<std::uint64_t>(tid));
+    w.key("args").beginObject().field("name", value).endObject();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(std::string_view processName,
+                const std::vector<std::string> &laneNames,
+                const std::vector<TimelineSpan> &spans)
+{
+    JsonWriter w;
+    w.beginObject().field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    metadataEvent(w, "process_name", 0, processName);
+    for (std::size_t lane = 0; lane < laneNames.size(); ++lane)
+        metadataEvent(w, "thread_name", static_cast<unsigned>(lane),
+                      laneNames[lane]);
+
+    for (const TimelineSpan &span : spans) {
+        w.beginObject()
+            .field("name", span.name)
+            .field("cat", span.category)
+            .field("ph", "X")
+            .field("pid", std::uint64_t{0})
+            .field("tid", static_cast<std::uint64_t>(span.lane))
+            .field("ts", span.startMs * 1000.0)
+            .field("dur", span.durMs * 1000.0);
+        w.key("args").beginObject();
+        for (const auto &[key, value] : span.args)
+            w.field(key, value);
+        w.endObject().endObject();
+    }
+
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+writeChromeTrace(const std::string &path, std::string_view processName,
+                 const std::vector<std::string> &laneNames,
+                 const std::vector<TimelineSpan> &spans)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec)
+            fatal(cat("cannot create timeline directory ",
+                      target.parent_path().string(), ": ", ec.message()));
+    }
+    std::ofstream out(target, std::ios::trunc);
+    if (!out)
+        fatal(cat("cannot open timeline file ", path));
+    out << chromeTraceJson(processName, laneNames, spans) << "\n";
+    if (!out)
+        fatal(cat("write to timeline file ", path, " failed"));
+    return path;
+}
+
+} // namespace risc1::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Timeline export in the Chrome trace-event format, loadable by
+ * `chrome://tracing` and https://ui.perfetto.dev.
+ *
+ * The exporter is deliberately generic — lanes and spans, nothing
+ * engine-specific — so any producer with timed work items can render
+ * one.  `riscbatch --trace-out=FILE` is the primary user: one lane per
+ * engine worker, one span per job (see docs/OBSERVABILITY.md).
+ */
+
+#ifndef RISC1_OBS_TIMELINE_HH
+#define RISC1_OBS_TIMELINE_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace risc1::obs {
+
+/** One horizontal bar on the timeline. */
+struct TimelineSpan
+{
+    std::string name;           ///< span label (job id)
+    std::string category = "job";
+    unsigned lane = 0;          ///< timeline row (worker index)
+    double startMs = 0.0;       ///< start relative to timeline zero
+    double durMs = 0.0;
+    /** Extra key/value detail shown in the span's popup. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Render a complete Chrome trace-event JSON document: metadata events
+ * naming the process and one thread per lane, then one complete
+ * ("ph":"X") event per span, timestamps in microseconds.
+ */
+std::string chromeTraceJson(std::string_view processName,
+                            const std::vector<std::string> &laneNames,
+                            const std::vector<TimelineSpan> &spans);
+
+/**
+ * Write chromeTraceJson() to @p path (directories created as needed).
+ * @return the path written, for log messages.  @throws FatalError on
+ * I/O failure.
+ */
+std::string writeChromeTrace(const std::string &path,
+                             std::string_view processName,
+                             const std::vector<std::string> &laneNames,
+                             const std::vector<TimelineSpan> &spans);
+
+} // namespace risc1::obs
+
+#endif // RISC1_OBS_TIMELINE_HH

@@ -1,0 +1,106 @@
+#include "obs/trace.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace risc1::obs {
+
+std::string_view
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Instruction:
+        return "instruction";
+      case EventKind::Trap:
+        return "trap";
+      case EventKind::Interrupt:
+        return "interrupt";
+    }
+    return "unknown";
+}
+
+void
+TextSink::event(const TraceEvent &ev)
+{
+    const auto flags = os_.flags();
+    const auto fill = os_.fill();
+    os_ << std::setw(10) << std::dec << ev.seq << "  " << std::setw(10)
+        << ev.cycles << "  " << std::hex << std::setfill('0')
+        << std::setw(8) << ev.pc << "  ";
+    if (ev.kind != EventKind::Instruction)
+        os_ << "[" << eventKindName(ev.kind) << "] ";
+    os_ << ev.text << "\n";
+    os_.flags(flags);
+    os_.fill(fill);
+}
+
+void
+TextSink::flush()
+{
+    os_.flush();
+}
+
+void
+JsonlSink::event(const TraceEvent &ev)
+{
+    // Hand-rolled single-line object: JsonWriter pretty-prints, and a
+    // JSONL stream needs exactly one line per event.
+    os_ << "{\"kind\":" << jsonEscape(eventKindName(ev.kind))
+        << ",\"seq\":" << ev.seq << ",\"cycles\":" << ev.cycles
+        << ",\"pc\":" << ev.pc << ",\"text\":" << jsonEscape(ev.text)
+        << "}\n";
+}
+
+void
+JsonlSink::flush()
+{
+    os_.flush();
+}
+
+Trace::Trace(std::size_t capacity) : capacity_(capacity ? capacity : 1)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+Trace::addSink(TraceSink &sink)
+{
+    sinks_.push_back(&sink);
+}
+
+void
+Trace::record(TraceEvent ev)
+{
+    for (TraceSink *sink : sinks_)
+        sink->event(ev);
+    if (ring_.size() < capacity_)
+        ring_.push_back(std::move(ev));
+    else
+        ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+}
+
+void
+Trace::flush()
+{
+    for (TraceSink *sink : sinks_)
+        sink->flush();
+}
+
+std::vector<TraceEvent>
+Trace::tail() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // Before the first wrap the ring is [0, size); after it, the
+    // oldest event sits at next_.
+    const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+} // namespace risc1::obs

@@ -8,7 +8,8 @@
 namespace risc1::sim {
 
 void
-writeResultJson(JsonWriter &w, const SimResult &result)
+writeResultJson(JsonWriter &w, const SimResult &result,
+                const ArtifactOptions &opts)
 {
     w.beginObject()
         .field("index", static_cast<std::uint64_t>(result.index))
@@ -16,9 +17,15 @@ writeResultJson(JsonWriter &w, const SimResult &result)
         .field("machine", result.backend)
         .field("status", jobStatusName(result.status))
         .field("error", result.error)
+        .field("postmortem", result.postmortem)
         .field("steps", result.steps)
         .field("checksum", result.checksum)
         .field("codeBytes", result.codeBytes);
+
+    if (opts.metrics) {
+        w.key("metrics");
+        result.metrics.writeJson(w);
+    }
 
     if (result.stats) {
         result.stats->writeJson(w);
@@ -35,21 +42,27 @@ writeResultJson(JsonWriter &w, const SimResult &result)
 
 std::string
 resultSetToJson(std::string_view batchName,
-                const std::vector<SimResult> &results)
+                const std::vector<SimResult> &results,
+                const ArtifactOptions &opts)
 {
     JsonWriter w;
     w.beginObject().field("batch", batchName).field(
         "jobs", static_cast<std::uint64_t>(results.size()));
+    if (opts.metrics) {
+        w.key("metrics");
+        opts.metrics->writeJson(w);
+    }
     w.key("results").beginArray();
     for (const auto &result : results)
-        writeResultJson(w, result);
+        writeResultJson(w, result, opts);
     w.endArray().endObject();
     return w.str();
 }
 
 std::string
 writeArtifact(const std::string &path, std::string_view batchName,
-              const std::vector<SimResult> &results)
+              const std::vector<SimResult> &results,
+              const ArtifactOptions &opts)
 {
     const std::filesystem::path target(path);
     if (target.has_parent_path()) {
@@ -62,7 +75,7 @@ writeArtifact(const std::string &path, std::string_view batchName,
     std::ofstream out(target, std::ios::trunc);
     if (!out)
         fatal(cat("cannot open artifact file ", path));
-    out << resultSetToJson(batchName, results);
+    out << resultSetToJson(batchName, results, opts);
     if (!out)
         fatal(cat("write to artifact file ", path, " failed"));
     return path;

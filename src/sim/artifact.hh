@@ -21,12 +21,29 @@
 
 namespace risc1::sim {
 
+/**
+ * Optional artifact content beyond the deterministic core schema.
+ *
+ * Engine metrics are wall-clock observations (obs/metrics.hh) and
+ * would break the byte-identical-at-any-worker-count contract, so
+ * they are emitted only when a batch's metrics are supplied here:
+ * each result then carries a `"metrics"` object and the document a
+ * top-level `"metrics"` object (schema in docs/OBSERVABILITY.md).
+ */
+struct ArtifactOptions
+{
+    /** Batch metrics to embed; non-owning, nullptr = omit metrics. */
+    const obs::BatchMetrics *metrics = nullptr;
+};
+
 /** Render one result as a JSON object into @p w. */
-void writeResultJson(JsonWriter &w, const SimResult &result);
+void writeResultJson(JsonWriter &w, const SimResult &result,
+                     const ArtifactOptions &opts = {});
 
 /** Render a whole batch: {"batch": name, "jobs": [...]} */
 std::string resultSetToJson(std::string_view batchName,
-                            const std::vector<SimResult> &results);
+                            const std::vector<SimResult> &results,
+                            const ArtifactOptions &opts = {});
 
 /**
  * Write the batch artifact to @p path (directories are created as
@@ -34,7 +51,8 @@ std::string resultSetToJson(std::string_view batchName,
  */
 std::string writeArtifact(const std::string &path,
                           std::string_view batchName,
-                          const std::vector<SimResult> &results);
+                          const std::vector<SimResult> &results,
+                          const ArtifactOptions &opts = {});
 
 } // namespace risc1::sim
 

@@ -1,9 +1,15 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <ctime>
 #include <exception>
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/postmortem.hh"
+#include "obs/trace.hh"
 #include "target/registry.hh"
 
 namespace risc1::sim {
@@ -65,6 +71,46 @@ resolveWorkers(const BatchOptions &options)
     return hw != 0 ? hw : 1;
 }
 
+namespace {
+
+/**
+ * Reconstruct the instruction history leading up to a runtime fault.
+ * The simulator is deterministic, so re-running the job with a tracer
+ * installed reproduces the fault exactly; only already-failed jobs pay
+ * the replay (and the slow path it forces).
+ */
+std::string
+replayPostmortem(const SimJob &job, const std::string &backend)
+{
+    obs::Trace trace(job.postmortem);
+    try {
+        const auto tgt = target::makeTarget(backend, job.config);
+        if (job.base)
+            tgt->restore(*job.base);
+        else
+            tgt->load(job.source);
+        tgt->setTrace(&trace);
+        tgt->run(job.maxSteps, job.fast);
+    } catch (const std::exception &) {
+        // The fault we came here to document.
+    }
+    return obs::renderPostmortem(trace);
+}
+
+/** Calling thread's CPU time in milliseconds (0 where unsupported). */
+double
+threadCpuMs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return double(ts.tv_sec) * 1e3 + double(ts.tv_nsec) / 1e6;
+#endif
+    return 0.0;
+}
+
+} // namespace
+
 SimResult
 runJob(const SimJob &job, std::size_t index)
 {
@@ -72,6 +118,7 @@ runJob(const SimJob &job, std::size_t index)
     res.index = index;
     res.id = job.id;
     res.backend = job.backend;
+    bool running = false;
     try {
         res.backend = target::canonicalBackend(job.backend);
         const auto tgt = target::makeTarget(res.backend, job.config);
@@ -83,7 +130,9 @@ runJob(const SimJob &job, std::size_t index)
             res.codeBytes = tgt->codeBytes();
         }
 
+        running = true;
         res.steps = tgt->run(job.maxSteps, job.fast).steps;
+        running = false;
         res.checksum = tgt->checksum();
         res.stats = tgt->stats();
         res.mem = tgt->memStats();
@@ -100,40 +149,101 @@ runJob(const SimJob &job, std::size_t index)
     } catch (const std::exception &e) {
         res.status = JobStatus::Error;
         res.error = e.what();
+        // A fault mid-run (not an assembler/load error) has execution
+        // history worth reporting: replay deterministically with a
+        // tracer and keep the ring tail.
+        if (running && job.postmortem > 0)
+            res.postmortem = replayPostmortem(job, res.backend);
     }
     if (!res.stats)
         res.stats = target::emptyStats(res.backend);
     return res;
 }
 
-std::vector<SimResult>
-runBatch(const std::vector<SimJob> &jobs, const BatchOptions &options)
+BatchReport
+runBatchReport(const std::vector<SimJob> &jobs, const BatchOptions &options)
 {
-    std::vector<SimResult> results(jobs.size());
+    using clock = std::chrono::steady_clock;
+    const auto msSince = [](clock::time_point from, clock::time_point to) {
+        return std::chrono::duration<double, std::milli>(to - from).count();
+    };
+
+    BatchReport report;
+    report.results.resize(jobs.size());
+    report.metrics.workers = 1;
     if (jobs.empty())
-        return results;
+        return report;
 
     JobQueue queue;
+    std::atomic<std::size_t> pending{jobs.size()};
     for (std::size_t i = 0; i < jobs.size(); ++i)
         queue.push(i);
     queue.close();
 
     const unsigned workers =
         std::min<std::size_t>(resolveWorkers(options), jobs.size());
-    auto drain = [&] {
+    report.metrics.workers = workers;
+    report.metrics.perWorker.resize(workers);
+
+    std::mutex sampleMutex;
+    auto &samples = report.metrics.queueDepth;
+    samples.reserve(jobs.size());
+
+    const auto batchStart = clock::now();
+    auto drain = [&](unsigned lane) {
+        auto &wm = report.metrics.perWorker[lane];
         std::size_t index;
-        while (queue.pop(index))
-            results[index] = runJob(jobs[index], index);
+        while (queue.pop(index)) {
+            const auto popped = clock::now();
+            const std::uint64_t depth =
+                pending.fetch_sub(1, std::memory_order_relaxed) - 1;
+            {
+                std::lock_guard lock(sampleMutex);
+                samples.push_back({msSince(batchStart, popped), depth});
+            }
+
+            const double cpu0 = threadCpuMs();
+            auto &res = report.results[index];
+            res = runJob(jobs[index], index);
+            const auto done = clock::now();
+
+            auto &jm = res.metrics;
+            jm.worker = lane;
+            jm.queueWaitMs = msSince(batchStart, popped);
+            jm.startMs = jm.queueWaitMs;
+            jm.wallMs = msSince(popped, done);
+            jm.cpuMs = std::max(0.0, threadCpuMs() - cpu0);
+            if (jm.wallMs > 0.0)
+                jm.stepsPerSec = double(res.steps) / (jm.wallMs / 1e3);
+
+            wm.jobs += 1;
+            wm.busyMs += jm.wallMs;
+        }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (unsigned i = 1; i < workers; ++i)
-        pool.emplace_back(drain);
-    drain(); // the calling thread is worker 0
+        pool.emplace_back(drain, i);
+    drain(0); // the calling thread is worker 0
     for (auto &t : pool)
         t.join();
-    return results;
+
+    report.metrics.wallMs = msSince(batchStart, clock::now());
+    for (auto &wm : report.metrics.perWorker)
+        if (report.metrics.wallMs > 0.0)
+            wm.utilization = wm.busyMs / report.metrics.wallMs;
+    std::sort(samples.begin(), samples.end(),
+              [](const obs::QueueSample &a, const obs::QueueSample &b) {
+                  return a.tMs < b.tMs;
+              });
+    return report;
+}
+
+std::vector<SimResult>
+runBatch(const std::vector<SimJob> &jobs, const BatchOptions &options)
+{
+    return runBatchReport(jobs, options).results;
 }
 
 } // namespace risc1::sim

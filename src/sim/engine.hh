@@ -64,9 +64,23 @@ class JobQueue
 
 /**
  * Run one job to completion in the calling thread.  Never throws: any
- * failure is captured in the returned result's status/error.
+ * failure is captured in the returned result's status/error — and, for
+ * a runtime fault, the job is deterministically replayed with a tracer
+ * to fill in the result's postmortem (see SimJob::postmortem).
  */
 SimResult runJob(const SimJob &job, std::size_t index);
+
+/**
+ * A batch's results plus the engine metrics observed while producing
+ * them.  The results are deterministic (byte-identical at any worker
+ * count); the metrics are wall-clock observations and are not — see
+ * obs/metrics.hh for how artifacts keep the two apart.
+ */
+struct BatchReport
+{
+    std::vector<SimResult> results;
+    obs::BatchMetrics metrics;
+};
 
 /**
  * Run @p jobs on a worker pool and return one result per job, in
@@ -75,6 +89,14 @@ SimResult runJob(const SimJob &job, std::size_t index);
  */
 std::vector<SimResult> runBatch(const std::vector<SimJob> &jobs,
                                 const BatchOptions &options = {});
+
+/**
+ * runBatch plus engine metrics: per-job timing in each result's
+ * `metrics` member, per-worker utilization and queue-depth samples in
+ * the report's BatchMetrics.
+ */
+BatchReport runBatchReport(const std::vector<SimJob> &jobs,
+                           const BatchOptions &options = {});
 
 /** The worker count @p options resolves to on this host. */
 unsigned resolveWorkers(const BatchOptions &options);

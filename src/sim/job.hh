@@ -21,6 +21,7 @@
 #include <string>
 
 #include "memory/memory.hh"
+#include "obs/metrics.hh"
 #include "target/target.hh"
 
 namespace risc1::sim {
@@ -66,6 +67,17 @@ struct SimJob
     std::optional<std::uint32_t> expected;
 
     /**
+     * Ring depth for the postmortem replay: when the job faults during
+     * execution (a simulator exception — not an assembler error, step
+     * limit, or checksum mismatch), the engine re-runs it with a
+     * Trace of this capacity installed and renders the last events
+     * before the fault into SimResult::postmortem.  0 disables the
+     * replay.  Healthy jobs never pay for this — the simulator is
+     * deterministic, so the history is reconstructed only on demand.
+     */
+    std::size_t postmortem = 16;
+
+    /**
      * Warm-start fork point: instead of assembling @ref source into a
      * fresh machine, the worker restores this snapshot into a target
      * built from @ref config and continues from there.  The snapshot
@@ -96,6 +108,15 @@ struct SimResult
     JobStatus status = JobStatus::Ok;
     std::string error;      ///< non-empty unless status == Ok
 
+    /**
+     * Instruction history leading up to a runtime fault, rendered by
+     * obs::renderPostmortem from a deterministic replay of the job.
+     * Empty unless the job faulted during execution and
+     * SimJob::postmortem was nonzero.  Deterministic (replay of a
+     * deterministic simulator), so it appears in the default artifact.
+     */
+    std::string postmortem;
+
     std::uint64_t steps = 0;
     std::uint32_t checksum = 0;
     std::uint64_t codeBytes = 0;  ///< 0 for snapshot-forked jobs
@@ -108,6 +129,14 @@ struct SimResult
     std::shared_ptr<const target::TargetStats> stats;
 
     MemoryStats mem;
+
+    /**
+     * Wall-clock timing for this job (the batch engine fills it in;
+     * a bare runJob() call leaves it zeroed).  Non-deterministic, so
+     * it is excluded from the default artifact rendering and emitted
+     * only via sim::ArtifactOptions::metrics.
+     */
+    obs::JobMetrics metrics;
 };
 
 } // namespace risc1::sim

@@ -32,6 +32,10 @@ namespace risc1 {
 class JsonWriter;
 } // namespace risc1
 
+namespace risc1::obs {
+class Trace;
+} // namespace risc1::obs
+
 namespace risc1::target {
 
 /**
@@ -149,6 +153,16 @@ class Target
     virtual RunOutcome run(std::uint64_t maxSteps, bool fast) = 0;
 
     virtual bool halted() const = 0;
+
+    /**
+     * Install (or clear, with nullptr) an execution tracer
+     * (obs/trace.hh): every executed instruction — plus backend
+     * events like window traps — is recorded into @p trace, and
+     * run(fast=true) falls back to the reference interpreter so the
+     * trace observes every instruction.  Non-owning; the Trace must
+     * outlive the registration.  Zero overhead when none is installed.
+     */
+    virtual void setTrace(obs::Trace *trace) = 0;
 
     /** The workload checksum convention for this ISA (RISC I: r1,
      *  baseline: r0). */

@@ -41,6 +41,10 @@ class VaxTarget final : public Target
     bool step() override { return machine_.step(); }
     RunOutcome run(std::uint64_t maxSteps, bool fast) override;
     bool halted() const override { return machine_.halted(); }
+    void setTrace(obs::Trace *trace) override
+    {
+        machine_.setTrace(trace);
+    }
     std::uint32_t checksum() const override { return machine_.reg(0); }
     std::shared_ptr<const TargetStats> stats() const override;
     MemoryStats memStats() const override

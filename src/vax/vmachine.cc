@@ -5,6 +5,7 @@
 #include "common/bitfield.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace risc1 {
 
@@ -689,12 +690,19 @@ VaxMachine::step()
     if (halted_)
         return false;
 
+    const std::uint32_t ipc = regs_[vaxPc];
     const auto opByte = static_cast<VaxOpcode>(fetchByte());
     const VaxOpInfo *info = vaxOpcodeInfo(opByte);
     if (!info)
         fatal(cat("illegal opcode byte 0x", std::hex,
                   static_cast<int>(opByte), " at pc 0x",
                   regs_[vaxPc] - 1));
+
+    // Recorded before execution, so a faulting instruction is the last
+    // event in the ring when its fault unwinds (obs/postmortem.hh).
+    if (trace_)
+        trace_->record({obs::EventKind::Instruction, stats_.instructions,
+                        stats_.cycles, ipc, std::string(info->mnemonic)});
 
     ++stats_.instructions;
     ++stats_.perClass[static_cast<std::size_t>(info->cls)];
@@ -867,6 +875,19 @@ RunOutcome
 VaxMachine::runFast(std::uint64_t maxSteps)
 {
     RunOutcome outcome;
+
+    // A tracer must observe every instruction in decode order; fall
+    // back to the reference interpreter so trace semantics (and
+    // everything else) are unchanged.
+    if (trace_) {
+        while (!halted_ && outcome.steps < maxSteps) {
+            step();
+            ++outcome.steps;
+        }
+        outcome.halted = halted_;
+        return outcome;
+    }
+
     predecode_.sync(mem_);
 
     while (!halted_ && outcome.steps < maxSteps) {

@@ -4,12 +4,15 @@
 #define RISC1_TESTS_HELPERS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asm/assembler.hh"
 #include "core/machine.hh"
 #include "isa/instruction.hh"
+#include "obs/trace.hh"
 
 namespace risc1::test {
 
@@ -47,6 +50,46 @@ runAsm(const std::string &source, std::uint64_t maxSteps = 10'000'000)
     m.run(maxSteps);
     return m;
 }
+
+/**
+ * A per-step probe for tests: a minimal Trace whose single sink
+ * forwards instruction events to a callback.  Install with
+ * `m.setTrace(probe.get())`; the callback fires before each
+ * instruction executes, so machine state read inside it is the
+ * pre-execution state (trap/interrupt events are filtered out).
+ */
+class ProbeTrace
+{
+  public:
+    using Callback = std::function<void(const obs::TraceEvent &)>;
+
+    explicit ProbeTrace(Callback fn) : sink_(std::move(fn))
+    {
+        trace_.addSink(sink_);
+    }
+
+    obs::Trace *get() { return &trace_; }
+
+  private:
+    class CallbackSink final : public obs::TraceSink
+    {
+      public:
+        explicit CallbackSink(Callback fn) : fn_(std::move(fn)) {}
+
+        void
+        event(const obs::TraceEvent &ev) override
+        {
+            if (ev.kind == obs::EventKind::Instruction)
+                fn_(ev);
+        }
+
+      private:
+        Callback fn_;
+    };
+
+    obs::Trace trace_{1};
+    CallbackSink sink_;
+};
 
 } // namespace risc1::test
 

@@ -339,18 +339,19 @@ TEST(FastPath, CallTraceRecorded)
 }
 
 /**
- * With a trace hook installed, runFast falls back to step() so the
+ * With a tracer installed, runFast falls back to step() so the
  * hook still observes every instruction in decode order.
  */
-TEST(FastPath, TraceHookSeesEveryInstruction)
+TEST(FastPath, TraceSeesEveryInstruction)
 {
     const Workload &w = findWorkload("sieve");
     const Program prog = assembleRisc(w.riscSource);
 
     Machine m;
     std::uint64_t hookCalls = 0;
-    m.setTraceHook(
-        [&hookCalls](std::uint32_t, const Instruction &) { ++hookCalls; });
+    test::ProbeTrace probe(
+        [&hookCalls](const obs::TraceEvent &) { ++hookCalls; });
+    m.setTrace(probe.get());
     m.loadProgram(prog);
     const RunOutcome out = m.runFast();
     ASSERT_TRUE(out.halted);

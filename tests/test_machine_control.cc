@@ -238,7 +238,7 @@ TEST(MachineControl, DelaySlotStatsCountNops)
     EXPECT_EQ(m.stats().delaySlotNops, 1u);
 }
 
-TEST(MachineControl, TraceHookSeesEveryInstruction)
+TEST(MachineControl, TraceSeesEveryInstruction)
 {
     Machine m;
     loadRaw(m, {
@@ -246,9 +246,10 @@ TEST(MachineControl, TraceHookSeesEveryInstruction)
         Instruction::aluImm(Opcode::Add, 1, 0, 1),
     });
     std::vector<std::uint32_t> pcs;
-    m.setTraceHook([&](std::uint32_t pc, const Instruction &) {
-        pcs.push_back(pc);
+    test::ProbeTrace probe([&](const obs::TraceEvent &ev) {
+        pcs.push_back(ev.pc);
     });
+    m.setTrace(probe.get());
     m.run();
     ASSERT_EQ(pcs.size(), 3u); // nop, add, halt
     EXPECT_EQ(pcs[0], kOrg);

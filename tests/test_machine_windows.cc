@@ -208,9 +208,10 @@ TEST(MachineWindows, PswTracksCwpAndSwp)
     test::loadAsm(m, recSumSource(3));
     const unsigned nwin = m.config().windows.numWindows;
     unsigned maxCwpSeen = 0;
-    m.setTraceHook([&](std::uint32_t, const Instruction &) {
+    test::ProbeTrace probe([&](const obs::TraceEvent &) {
         maxCwpSeen = std::max(maxCwpSeen, m.regFile().cwp());
     });
+    m.setTrace(probe.get());
     m.run();
     EXPECT_LT(maxCwpSeen, nwin);
     EXPECT_EQ(m.psw().cwp, m.regFile().cwp());

@@ -9,6 +9,7 @@
 #include "analysis/pipeline_model.hh"
 #include "asm/assembler.hh"
 #include "core/machine.hh"
+#include "helpers.hh"
 #include "workloads/workloads.hh"
 
 namespace risc1 {
@@ -49,9 +50,12 @@ TEST_P(PipelineVsMachine, StructuralTimingMatchesAnalytic)
     const Workload &w = findWorkload(GetParam());
     Machine m;
     std::vector<InstClass> trace;
-    m.setTraceHook([&](std::uint32_t, const Instruction &inst) {
+    test::ProbeTrace probe([&](const obs::TraceEvent &ev) {
+        const Instruction inst =
+            Instruction::decode(m.memory().peekWord(ev.pc));
         trace.push_back(opcodeInfo(inst.op)->cls);
     });
+    m.setTrace(probe.get());
     m.loadProgram(assembleRisc(w.riscSource));
     m.run();
 
