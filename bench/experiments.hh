@@ -27,6 +27,7 @@ int runTableWindowConfigs();
 int runTableBaselineFamily();
 int runTableFetchTraffic();
 int runFigIcacheSweep();
+int runFigMemHierarchy();
 
 /** One registered experiment. @return 0 on success. */
 struct Experiment
@@ -68,6 +69,9 @@ inline constexpr Experiment kExperiments[] = {
      runTableFetchTraffic},
     {"fig_icache_sweep",
      "X1: instruction-cache sensitivity sweep", runFigIcacheSweep},
+    {"fig_mem_hierarchy",
+     "X2: memory-hierarchy sweep on both backends",
+     runFigMemHierarchy},
 };
 
 inline constexpr std::size_t kNumExperiments =

@@ -88,7 +88,8 @@ bench::runFigIcacheSweep()
         for (std::size_t k = 1; k < perWorkload; ++k)
             row.push_back(bench::percent(
                 1.0 - target::riscStats(*results[i + k].stats)
-                          .icache.hitRate()));
+                          .caches.l1i.value_or(mem::LevelStats{})
+                          .hitRate()));
         i += perWorkload;
         table.addRow(std::move(row));
     }

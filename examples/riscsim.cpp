@@ -10,6 +10,12 @@
  *   $ ./riscsim --trace-jsonl t.jsonl prog.s  # machine-readable trace
  *   $ ./riscsim --disasm prog.s        # disassemble, don't run
  *   $ ./riscsim --reorganize prog.s    # fill delay slots, then run
+ *   $ ./riscsim --l1i 1024,16,4 prog.s # fit a memory hierarchy
+ *   $ ./riscsim --l1d 4096,16,4 --l2 65536,32,20,wb prog.s
+ *
+ * Cache-level specs (--l1i/--l1d/--l2, either backend) use the same
+ * `size,line,missPenalty[,wt|wb]` form and parser as riscbatch job
+ * files (docs/MEMORY.md), so the two front-ends cannot drift.
  *
  * Tracing goes through the observability layer (src/obs/): --trace
  * prints one line per executed instruction (plus window traps and
@@ -30,6 +36,7 @@
 #include "common/logging.hh"
 #include "core/machine.hh"
 #include "isa/disasm.hh"
+#include "mem/config.hh"
 #include "obs/trace.hh"
 #include "vax/vassembler.hh"
 #include "vax/vdisasm.hh"
@@ -44,8 +51,32 @@ usage()
 {
     std::cerr << "usage: riscsim [--cisc] [--windows N] [--no-windows] "
                  "[--trace] [--disasm]\n               "
-                 "[--trace-jsonl FILE] [--max-steps N] <file.s>\n";
+                 "[--trace-jsonl FILE] [--max-steps N] "
+                 "[--l1i SPEC] [--l1d SPEC] [--l2 SPEC] <file.s>\n"
+                 "       cache SPEC: size,line,missPenalty[,wt|wb]\n";
     return 2;
+}
+
+/** Per-level cache summary, same layout on either backend. */
+void
+printMemStats(const mem::HierarchyStats &stats)
+{
+    const auto show = [](const char *name,
+                         const std::optional<mem::LevelStats> &s) {
+        if (!s)
+            return;
+        std::printf("%s:          %llu hits, %llu misses (hit rate "
+                    "%.3f), %llu writebacks, %llu penalty cycles\n",
+                    name,
+                    static_cast<unsigned long long>(s->hits),
+                    static_cast<unsigned long long>(s->misses),
+                    s->hitRate(),
+                    static_cast<unsigned long long>(s->writebacks),
+                    static_cast<unsigned long long>(s->penaltyCycles));
+    };
+    show("l1i", stats.l1i);
+    show("l1d", stats.l1d);
+    show("l2 ", stats.l2);
 }
 
 /**
@@ -105,7 +136,8 @@ readFile(const std::string &path)
 int
 runRisc(const std::string &source, unsigned windows, bool windowed,
         bool trace, const std::string &traceJsonl, bool disasmOnly,
-        bool reorganize, std::uint64_t maxSteps)
+        bool reorganize, std::uint64_t maxSteps,
+        const mem::HierarchyConfig &caches)
 {
     Program program = assembleRisc(source);
     if (reorganize) {
@@ -136,6 +168,7 @@ runRisc(const std::string &source, unsigned windows, bool windowed,
     MachineConfig config;
     config.windows.numWindows = windows;
     config.windowedCalls = windowed;
+    config.caches = caches;
     Machine machine(config);
     machine.loadProgram(program);
     CliTrace tracer;
@@ -143,7 +176,9 @@ runRisc(const std::string &source, unsigned windows, bool windowed,
     machine.run(maxSteps);
     tracer.finish();
 
-    std::cout << machine.stats().summary() << "registers:\n";
+    std::cout << machine.stats().summary();
+    printMemStats(machine.memHierarchyStats());
+    std::cout << "registers:\n";
     for (unsigned r = 0; r < 32; r += 4) {
         for (unsigned c = 0; c < 4; ++c)
             std::printf("  r%-2u = %10u", r + c, machine.reg(r + c));
@@ -155,7 +190,7 @@ runRisc(const std::string &source, unsigned windows, bool windowed,
 int
 runCisc(const std::string &source, bool trace,
         const std::string &traceJsonl, bool disasmOnly,
-        std::uint64_t maxSteps)
+        std::uint64_t maxSteps, const mem::HierarchyConfig &caches)
 {
     const Program program = assembleVax(source);
     if (disasmOnly) {
@@ -170,7 +205,9 @@ runCisc(const std::string &source, bool trace,
         return 0;
     }
 
-    VaxMachine machine;
+    VaxConfig config;
+    config.caches = caches;
+    VaxMachine machine(config);
     machine.loadProgram(program);
     CliTrace tracer;
     machine.setTrace(tracer.build(trace, traceJsonl));
@@ -185,7 +222,9 @@ runCisc(const std::string &source, bool trace,
                      static_cast<double>(s.instructions)
               << "\n"
               << "calls:        " << s.calls << "\n"
-              << "data refs:    " << s.dataAccesses() << "\nregisters:\n";
+              << "data refs:    " << s.dataAccesses() << "\n";
+    printMemStats(machine.memHierarchyStats());
+    std::cout << "registers:\n";
     for (unsigned r = 0; r < 16; r += 4) {
         for (unsigned c = 0; c < 4; ++c)
             std::printf("  r%-2u = %10u", r + c, machine.reg(r + c));
@@ -205,42 +244,52 @@ main(int argc, char **argv)
     unsigned windows = 8;
     std::uint64_t maxSteps = 200'000'000;
     std::string path, traceJsonl;
+    mem::HierarchyConfig caches;
 
     const std::vector<std::string> args(argv + 1, argv + argc);
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--cisc") {
-            cisc = true;
-        } else if (arg == "--trace") {
-            trace = true;
-        } else if (arg == "--trace-jsonl" && i + 1 < args.size()) {
-            traceJsonl = args[++i];
-        } else if (arg == "--disasm") {
-            disasmOnly = true;
-        } else if (arg == "--reorganize") {
-            reorganize = true;
-        } else if (arg == "--no-windows") {
-            windowed = false;
-        } else if (arg == "--windows" && i + 1 < args.size()) {
-            windows = static_cast<unsigned>(std::stoul(args[++i]));
-        } else if (arg == "--max-steps" && i + 1 < args.size()) {
-            maxSteps = std::stoull(args[++i]);
-        } else if (!arg.empty() && arg[0] == '-') {
-            return usage();
-        } else {
-            path = arg;
-        }
-    }
-    if (path.empty())
-        return usage();
-
     try {
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const std::string &arg = args[i];
+            if (arg == "--cisc") {
+                cisc = true;
+            } else if (arg == "--trace") {
+                trace = true;
+            } else if (arg == "--trace-jsonl" && i + 1 < args.size()) {
+                traceJsonl = args[++i];
+            } else if (arg == "--disasm") {
+                disasmOnly = true;
+            } else if (arg == "--reorganize") {
+                reorganize = true;
+            } else if (arg == "--no-windows") {
+                windowed = false;
+            } else if (arg == "--windows" && i + 1 < args.size()) {
+                windows = static_cast<unsigned>(std::stoul(args[++i]));
+            } else if (arg == "--max-steps" && i + 1 < args.size()) {
+                maxSteps = std::stoull(args[++i]);
+            } else if (arg == "--l1i" && i + 1 < args.size()) {
+                caches.l1i =
+                    mem::parseLevelSpec(args[++i], "--l1i");
+            } else if (arg == "--l1d" && i + 1 < args.size()) {
+                caches.l1d =
+                    mem::parseLevelSpec(args[++i], "--l1d");
+            } else if (arg == "--l2" && i + 1 < args.size()) {
+                caches.l2 =
+                    mem::parseLevelSpec(args[++i], "--l2");
+            } else if (!arg.empty() && arg[0] == '-') {
+                return usage();
+            } else {
+                path = arg;
+            }
+        }
+        if (path.empty())
+            return usage();
+
         const std::string source = readFile(path);
         return cisc ? runCisc(source, trace, traceJsonl, disasmOnly,
-                              maxSteps)
+                              maxSteps, caches)
                     : runRisc(source, windows, windowed, trace,
                               traceJsonl, disasmOnly, reorganize,
-                              maxSteps);
+                              maxSteps, caches);
     } catch (const FatalError &e) {
         std::cerr << "riscsim: " << e.what() << "\n";
         return 1;

@@ -11,7 +11,7 @@
 #
 # ctest runs in labeled stages (see docs/TESTING.md) so a failure names
 # the ring that broke: unit -> property -> differential -> target ->
-# vax -> obs -> golden -> bench.
+# vax -> obs -> mem -> golden -> bench.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +34,7 @@ cmake --build "$BUILD" -j
 
 run_stages() {
     dir="$1"
-    for label in unit property differential target vax obs golden bench; do
+    for label in unit property differential target vax obs mem golden bench; do
         echo
         echo "== ctest stage: $label =="
         (cd "$dir" && ctest -L "$label" --output-on-failure -j)
@@ -50,7 +50,8 @@ run_stages "$BUILD"
 echo
 echo "== bench smoke: riscbench experiment registry =="
 (cd "$BUILD" && ./bench/riscbench --list > /dev/null)
-for exp in table_window_configs table_execution_time fig_icache_sweep; do
+for exp in table_window_configs table_execution_time fig_icache_sweep \
+           fig_mem_hierarchy; do
     echo "-- riscbench $exp"
     (cd "$BUILD" && ./bench/riscbench "$exp" > /dev/null)
     test -s "$BUILD/bench/out/$exp.json" || {
@@ -58,6 +59,20 @@ for exp in table_window_configs table_execution_time fig_icache_sweep; do
         exit 1
     }
 done
+
+# Artifact-schema guard: bench artifacts are deterministic (no
+# metrics, no timestamps), so any byte drift from the checked-in
+# example means the JSON schema or the simulated results changed and
+# the example must be reviewed and regenerated (docs/SIM.md).
+echo
+echo "== artifact schema: fig_mem_hierarchy vs checked-in example =="
+cmp "$BUILD/bench/out/fig_mem_hierarchy.json" \
+    examples/artifacts/fig_mem_hierarchy.json || {
+    echo "artifact schema drifted from examples/artifacts/" \
+         "fig_mem_hierarchy.json; if intended, copy the new" \
+         "artifact over the example and commit it" >&2
+    exit 1
+}
 
 echo
 echo "== batch smoke: riscbatch artifact + timeline =="

@@ -32,4 +32,17 @@ simulateTwoStage(const std::vector<InstClass> &classes)
     return result;
 }
 
+PipelineResult
+simulateTwoStage(const std::vector<InstClass> &classes,
+                 const mem::HierarchyStats &memStats)
+{
+    PipelineResult result = simulateTwoStage(classes);
+    // Every cycle a hierarchy level charged is a pipeline stall: the
+    // missed fetch or data access holds the memory port exactly that
+    // long, freezing both stages.
+    result.memStallCycles = memStats.penaltyCycles();
+    result.cycles += result.memStallCycles;
+    return result;
+}
+
 } // namespace risc1

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "isa/opcodes.hh"
+#include "mem/hierarchy.hh"
 
 namespace risc1 {
 
@@ -27,6 +28,7 @@ struct PipelineResult
 {
     std::uint64_t cycles = 0;
     std::uint64_t fetchStalls = 0;  ///< fetches delayed by the mem port
+    std::uint64_t memStallCycles = 0; ///< hierarchy penalty cycles
 };
 
 /**
@@ -36,6 +38,17 @@ struct PipelineResult
  * during which the next instruction cannot be fetched.
  */
 PipelineResult simulateTwoStage(const std::vector<InstClass> &classes);
+
+/**
+ * Same structural replay, with a memory hierarchy fitted: every
+ * penalty cycle a level charged (mem/hierarchy.hh) stalls the
+ * pipeline on top of the memory-port stalls, so the analytic total
+ * (machine cycles) and the structural total still agree exactly when
+ * caches are enabled.  @p memStats is the per-level statistics of the
+ * run that produced @p classes.
+ */
+PipelineResult simulateTwoStage(const std::vector<InstClass> &classes,
+                                const mem::HierarchyStats &memStats);
 
 } // namespace risc1
 

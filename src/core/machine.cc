@@ -45,10 +45,20 @@ Machine::Machine(const MachineConfig &config)
         config_.softAreaTop % 4 != 0 ||
         config_.softAreaTop > config_.memorySize)
         fatal("save areas must be word-aligned and inside memory");
-    if (config_.icache)
-        icache_.emplace(*config_.icache);
-    if (config_.dcache)
-        dcache_.emplace(*config_.dcache);
+    if (const mem::HierarchyConfig h = config_.effectiveHierarchy();
+        h.any())
+        hier_.emplace(h);
+}
+
+mem::HierarchyConfig
+MachineConfig::effectiveHierarchy() const
+{
+    mem::HierarchyConfig h = caches;
+    if (!h.l1i && icache)
+        h.l1i = *icache;
+    if (!h.l1d && dcache)
+        h.l1d = *dcache;
+    return h;
 }
 
 void
@@ -78,10 +88,8 @@ Machine::reset(std::uint32_t entry)
     callTrace_.clear();
     interruptPending_ = false;
     interruptsTaken_ = 0;
-    if (icache_)
-        icache_->reset();
-    if (dcache_)
-        dcache_->reset();
+    if (hier_)
+        hier_->reset();
     psw_.cwp = static_cast<std::uint8_t>(regs_.cwp());
     psw_.swp = static_cast<std::uint8_t>(
         (regs_.cwp() + resident_) % config_.windows.numWindows);
@@ -451,8 +459,8 @@ Machine::execute(const Instruction &inst)
       }
       case InstClass::Load: {
         const std::uint32_t addr = regs_.read(inst.rs1) + readS2(inst);
-        if (dcache_ && !dcache_->access(addr))
-            stats_.cycles += config_.dcache->missPenaltyCycles;
+        if (hier_)
+            stats_.cycles += hier_->data(addr, false);
         std::uint32_t value = 0;
         switch (inst.op) {
           case Opcode::Ldl:
@@ -482,8 +490,8 @@ Machine::execute(const Instruction &inst)
       }
       case InstClass::Store: {
         const std::uint32_t addr = regs_.read(inst.rs1) + readS2(inst);
-        if (dcache_ && !dcache_->access(addr))
-            stats_.cycles += config_.dcache->missPenaltyCycles;
+        if (hier_)
+            stats_.cycles += hier_->data(addr, true);
         const std::uint32_t data = regs_.read(inst.rd);
         switch (inst.op) {
           case Opcode::Stl:
@@ -612,8 +620,8 @@ Machine::step()
 
     maybeAcceptInterrupt();
 
-    if (icache_ && !icache_->access(pc_))
-        stats_.cycles += config_.icache->missPenaltyCycles;
+    if (hier_)
+        stats_.cycles += hier_->fetch(pc_);
 
     const std::uint32_t word = mem_.fetchWord(pc_);
     const Instruction inst = Instruction::decode(word);
@@ -696,8 +704,8 @@ struct FastOps
     {
         const Instruction &inst = d.inst;
         const std::uint32_t addr = m.regs_.read(inst.rs1) + s2(m, inst);
-        if (m.dcache_ && !m.dcache_->access(addr))
-            m.stats_.cycles += m.config_.dcache->missPenaltyCycles;
+        if (m.hier_)
+            m.stats_.cycles += m.hier_->data(addr, false);
         std::uint32_t value = 0;
         if constexpr (OP == Opcode::Ldl)
             value = m.mem_.readWord(addr);
@@ -722,8 +730,8 @@ struct FastOps
     {
         const Instruction &inst = d.inst;
         const std::uint32_t addr = m.regs_.read(inst.rs1) + s2(m, inst);
-        if (m.dcache_ && !m.dcache_->access(addr))
-            m.stats_.cycles += m.config_.dcache->missPenaltyCycles;
+        if (m.hier_)
+            m.stats_.cycles += m.hier_->data(addr, true);
         const std::uint32_t data = m.regs_.read(inst.rd);
         if constexpr (OP == Opcode::Stl)
             m.mem_.writeWord(addr, data);
@@ -872,8 +880,8 @@ Machine::runFast(std::uint64_t maxSteps)
         maybeAcceptInterrupt();
 
         const std::uint32_t pc = pc_;
-        if (icache_ && !icache_->access(pc))
-            stats_.cycles += config_.icache->missPenaltyCycles;
+        if (hier_)
+            stats_.cycles += hier_->fetch(pc);
 
         // A misaligned or out-of-range PC raises the reference
         // interpreter's exact fetch fault (fetchWord throws before it
@@ -960,10 +968,8 @@ Machine::snapshot() const
     s.callTrace = callTrace_;
 
     s.pages = mem_.dirtyPages();
-    if (icache_)
-        s.icache = icache_->snapshot();
-    if (dcache_)
-        s.dcache = dcache_->snapshot();
+    if (hier_)
+        s.caches = hier_->snapshot();
     return s;
 }
 
@@ -1004,22 +1010,12 @@ Machine::restore(const MachineSnapshot &snap)
     mem_.restoreContents(snap.pages);
     mem_.setStats(snap.memStats);
 
-    // Caches are a timing model, not architectural state: a matching
-    // cache resumes warm, a mismatched (or newly fitted) one starts
-    // cold — the intended semantics when forking one prologue across
-    // cache-configuration sweep points.
-    if (icache_) {
-        if (snap.icache && icache_->compatible(snap.icache->config))
-            icache_->restore(*snap.icache);
-        else
-            icache_->reset();
-    }
-    if (dcache_) {
-        if (snap.dcache && dcache_->compatible(snap.dcache->config))
-            dcache_->restore(*snap.dcache);
-        else
-            dcache_->reset();
-    }
+    // Caches are a timing model, not architectural state: each level
+    // whose geometry matches the snapshot resumes warm, any other
+    // level starts cold — the intended semantics when forking one
+    // prologue across cache-configuration sweep points.
+    if (hier_)
+        hier_->restore(snap.caches);
 }
 
 RunOutcome

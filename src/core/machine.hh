@@ -40,6 +40,7 @@
 #include "core/regfile.hh"
 #include "core/stats.hh"
 #include "isa/instruction.hh"
+#include "mem/hierarchy.hh"
 #include "memory/cache.hh"
 #include "memory/memory.hh"
 #include "target/decode_cache.hh"
@@ -80,17 +81,26 @@ struct MachineConfig
     /** Words saved and restored per call in the ablation. */
     unsigned softFrameWords = 8;
     /**
-     * Optional instruction-cache model (the RISC II-era extension):
-     * when set, every fetch consults it and misses add the configured
-     * penalty cycles.  Disabled by default — RISC I had no cache.
+     * Legacy flat instruction-cache config: shorthand for mem.l1i
+     * (the RISC II-era extension).  When both are set, mem.l1i wins.
+     * Disabled by default — RISC I had no cache.
      */
     std::optional<CacheConfig> icache;
     /**
-     * Optional data-cache model, consulted on program loads/stores
-     * (window spill/fill traffic bypasses it, as trap microcode
-     * would).  Disabled by default.
+     * Legacy flat data-cache config: shorthand for mem.l1d, consulted
+     * on program loads/stores (window spill/fill traffic bypasses the
+     * hierarchy, as trap microcode would).  Disabled by default.
      */
     std::optional<CacheConfig> dcache;
+    /**
+     * Memory-hierarchy configuration (mem/hierarchy.hh): split L1s
+     * over an optional unified L2.  The legacy icache/dcache fields
+     * above fold into the l1i/l1d slots at construction.
+     */
+    mem::HierarchyConfig caches;
+
+    /** Effective hierarchy config after folding the legacy fields. */
+    mem::HierarchyConfig effectiveHierarchy() const;
 };
 
 /** Packed PSW layout used by GETPSW/PUTPSW. */
@@ -159,8 +169,7 @@ struct MachineSnapshot
 
     // -- Memory and caches -----------------------------------------------
     std::vector<MemoryPage> pages;
-    std::optional<CacheSnapshot> icache;
-    std::optional<CacheSnapshot> dcache;
+    mem::HierarchySnapshot caches;
 
     /**
      * Field-for-field equality over the complete captured state — the
@@ -277,16 +286,22 @@ class Machine
     /** Interrupts accepted so far. */
     std::uint64_t interruptsTaken() const { return interruptsTaken_; }
 
-    /** Instruction-cache statistics (zeroes when no cache is fitted). */
-    CacheStats icacheStats() const
+    /** Per-level memory-hierarchy statistics (empty when none fitted). */
+    mem::HierarchyStats memHierarchyStats() const
     {
-        return icache_ ? icache_->stats() : CacheStats{};
+        return hier_ ? hier_->stats() : mem::HierarchyStats{};
     }
 
-    /** Data-cache statistics (zeroes when no cache is fitted). */
+    /** L1I statistics (zeroes when no instruction cache is fitted). */
+    CacheStats icacheStats() const
+    {
+        return memHierarchyStats().l1i.value_or(CacheStats{});
+    }
+
+    /** L1D statistics (zeroes when no data cache is fitted). */
     CacheStats dcacheStats() const
     {
-        return dcache_ ? dcache_->stats() : CacheStats{};
+        return memHierarchyStats().l1d.value_or(CacheStats{});
     }
 
     /**
@@ -374,8 +389,7 @@ class Machine
     std::uint32_t interruptVector_ = 0;
     std::uint64_t interruptsTaken_ = 0;
 
-    std::optional<CacheModel> icache_;
-    std::optional<CacheModel> dcache_;
+    std::optional<mem::Hierarchy> hier_;
 
     /** Lazily populated decode cache, one image per memory page. */
     PredecodeCache predecode_;

@@ -1,0 +1,86 @@
+#include "mem/config.hh"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace risc1 {
+namespace mem {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t");
+    return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &context)
+{
+    fatal(cat(context, ": bad cache spec '", spec,
+              "' (need size,line,missPenalty[,wt|wb])"));
+}
+
+std::uint64_t
+parseUint(const std::string &part, const std::string &spec,
+          const std::string &context)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(part, &pos, 0);
+        if (pos != part.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        badSpec(spec, context);
+    }
+}
+
+} // namespace
+
+LevelConfig
+parseLevelSpec(const std::string &spec, const std::string &context)
+{
+    std::istringstream in(spec);
+    std::string part;
+    std::vector<std::string> parts;
+    while (std::getline(in, part, ','))
+        parts.push_back(trim(part));
+    if (parts.size() < 3 || parts.size() > 4)
+        badSpec(spec, context);
+
+    LevelConfig cfg;
+    cfg.sizeBytes =
+        static_cast<std::uint32_t>(parseUint(parts[0], spec, context));
+    cfg.lineBytes =
+        static_cast<std::uint32_t>(parseUint(parts[1], spec, context));
+    cfg.missPenaltyCycles =
+        static_cast<unsigned>(parseUint(parts[2], spec, context));
+    if (parts.size() == 4) {
+        if (parts[3] == "wt")
+            cfg.policy = WritePolicy::WriteThrough;
+        else if (parts[3] == "wb")
+            cfg.policy = WritePolicy::WriteBack;
+        else
+            badSpec(spec, context);
+    }
+    return cfg;
+}
+
+std::string
+formatLevelSpec(const LevelConfig &config)
+{
+    return cat(config.sizeBytes, ",", config.lineBytes, ",",
+               config.missPenaltyCycles, ",",
+               writePolicyName(config.policy));
+}
+
+} // namespace mem
+} // namespace risc1

@@ -1,9 +1,10 @@
-#include "memory/cache.hh"
+#include "mem/level.hh"
 
 #include "common/json.hh"
 #include "common/logging.hh"
 
 namespace risc1 {
+namespace mem {
 
 namespace {
 
@@ -26,7 +27,13 @@ log2u(std::uint32_t v)
 
 } // namespace
 
-CacheModel::CacheModel(const CacheConfig &config)
+const char *
+writePolicyName(WritePolicy policy)
+{
+    return policy == WritePolicy::WriteBack ? "wb" : "wt";
+}
+
+Level::Level(const LevelConfig &config)
     : config_(config)
 {
     if (!isPowerOfTwo(config_.sizeBytes) ||
@@ -38,62 +45,82 @@ CacheModel::CacheModel(const CacheConfig &config)
     lineShift_ = log2u(config_.lineBytes);
     tags_.assign(numLines_, 0);
     valid_.assign(numLines_, false);
+    dirty_.assign(numLines_, false);
 }
 
-bool
-CacheModel::access(std::uint32_t addr)
+Level::Access
+Level::access(std::uint32_t addr, bool isWrite)
 {
     const std::uint32_t lineAddr = addr >> lineShift_;
     const unsigned index = lineAddr % numLines_;
     const std::uint32_t tag = lineAddr / numLines_;
+    const bool writeBack = config_.policy == WritePolicy::WriteBack;
+
+    Access out;
     if (valid_[index] && tags_[index] == tag) {
         ++stats_.hits;
-        return true;
+        out.hit = true;
+        if (isWrite && writeBack)
+            dirty_[index] = true;
+        return out;
     }
+
     ++stats_.misses;
+    out.cycles = config_.missPenaltyCycles;
+    if (valid_[index] && dirty_[index]) {
+        // Evicting a modified line: the victim must be written out
+        // before the fill, costing another memory round trip.
+        ++stats_.writebacks;
+        out.cycles += config_.missPenaltyCycles;
+    }
     valid_[index] = true;
     tags_[index] = tag;
-    return false;
+    dirty_[index] = isWrite && writeBack;
+    stats_.penaltyCycles += out.cycles;
+    return out;
 }
 
 void
-CacheModel::reset()
+Level::reset()
 {
     valid_.assign(numLines_, false);
+    dirty_.assign(numLines_, false);
     stats_.reset();
 }
 
 bool
-CacheModel::compatible(const CacheConfig &config) const
+Level::compatible(const LevelConfig &config) const
 {
-    return config.sizeBytes == config_.sizeBytes &&
-           config.lineBytes == config_.lineBytes &&
-           config.missPenaltyCycles == config_.missPenaltyCycles;
+    return config == config_;
 }
 
-CacheSnapshot
-CacheModel::snapshot() const
+LevelSnapshot
+Level::snapshot() const
 {
-    return CacheSnapshot{config_, tags_, valid_, stats_};
+    return LevelSnapshot{config_, tags_, valid_, dirty_, stats_};
 }
 
 void
-CacheModel::restore(const CacheSnapshot &snap)
+Level::restore(const LevelSnapshot &snap)
 {
     if (!compatible(snap.config))
         fatal("cache restore: snapshot geometry does not match");
     tags_ = snap.tags;
     valid_ = snap.valid;
+    dirty_ = snap.dirty;
     stats_ = snap.stats;
 }
 
 void
-CacheStats::writeJson(JsonWriter &w) const
+LevelStats::writeJson(JsonWriter &w) const
 {
     w.beginObject()
         .field("hits", hits)
         .field("misses", misses)
+        .field("writebacks", writebacks)
+        .field("penaltyCycles", penaltyCycles)
         .endObject();
 }
 
+} // namespace mem
 } // namespace risc1

@@ -1,100 +1,21 @@
 /**
  * @file
- * A direct-mapped cache model — the extension study the Berkeley RISC
- * project pursued after RISC I (the paper's fetch-bandwidth discussion
- * points straight at on-chip instruction caching; RISC II-era work
- * added exactly this).  The model is consulted on every instruction
- * fetch when enabled; misses charge a configurable penalty.
+ * Legacy flat cache-config aliases.  The direct-mapped cache model
+ * moved to src/mem/ (mem::Level inside a composable mem::Hierarchy,
+ * docs/MEMORY.md); a flat CacheConfig now IS a single-level
+ * mem::LevelConfig, so existing configs map onto a one-level
+ * hierarchy with identical timing.
  */
 
 #ifndef RISC1_MEMORY_CACHE_HH
 #define RISC1_MEMORY_CACHE_HH
 
-#include <cstdint>
-#include <vector>
+#include "mem/level.hh"
 
 namespace risc1 {
 
-/** Cache geometry and timing. */
-struct CacheConfig
-{
-    std::uint32_t sizeBytes = 1024;
-    std::uint32_t lineBytes = 16;
-    unsigned missPenaltyCycles = 4;
-
-    bool operator==(const CacheConfig &) const = default;
-};
-
-/** Hit/miss statistics. */
-struct CacheStats
-{
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-
-    std::uint64_t accesses() const { return hits + misses; }
-
-    double
-    hitRate() const
-    {
-        return accesses() ? static_cast<double>(hits) /
-                                static_cast<double>(accesses())
-                          : 0.0;
-    }
-
-    void reset() { *this = CacheStats{}; }
-
-    bool operator==(const CacheStats &) const = default;
-
-    /** Serialize to @p w as a JSON object (see docs/SIM.md). */
-    void writeJson(class JsonWriter &w) const;
-};
-
-/** Full cache state captured by CacheModel::snapshot(). */
-struct CacheSnapshot
-{
-    CacheConfig config;
-    std::vector<std::uint32_t> tags;
-    std::vector<bool> valid;
-    CacheStats stats;
-
-    bool operator==(const CacheSnapshot &) const = default;
-};
-
-/** Direct-mapped cache with tag-only state (a timing model). */
-class CacheModel
-{
-  public:
-    explicit CacheModel(const CacheConfig &config = CacheConfig{});
-
-    const CacheConfig &config() const { return config_; }
-    const CacheStats &stats() const { return stats_; }
-
-    /** Access @p addr; @return true on hit (misses allocate). */
-    bool access(std::uint32_t addr);
-
-    /** Invalidate all lines and reset statistics. */
-    void reset();
-
-    /** Capture tags, valid bits, and statistics. */
-    CacheSnapshot snapshot() const;
-
-    /**
-     * Restore a snapshot; @throws FatalError when the snapshot's
-     * geometry does not match this cache's configuration.
-     */
-    void restore(const CacheSnapshot &snap);
-
-    /** True when @p config matches this cache's geometry and timing. */
-    bool compatible(const CacheConfig &config) const;
-
-  private:
-    CacheConfig config_;
-    unsigned numLines_;
-    unsigned lineShift_;
-    std::vector<std::uint32_t> tags_;
-    std::vector<bool> valid_;
-    CacheStats stats_;
-};
+using CacheConfig = mem::LevelConfig;
+using CacheStats = mem::LevelStats;
 
 } // namespace risc1
 

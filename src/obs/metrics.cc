@@ -13,8 +13,16 @@ JobMetrics::writeJson(JsonWriter &w) const
         .field("startMs", startMs)
         .field("wallMs", wallMs)
         .field("cpuMs", cpuMs)
-        .field("stepsPerSec", stepsPerSec)
-        .endObject();
+        .field("stepsPerSec", stepsPerSec);
+    w.key("memLevels").beginArray();
+    for (const LevelMetrics &m : memLevels)
+        w.beginObject()
+            .field("level", m.level)
+            .field("accesses", m.accesses)
+            .field("misses", m.misses)
+            .field("penaltyCycles", m.penaltyCycles)
+            .endObject();
+    w.endArray().endObject();
 }
 
 void

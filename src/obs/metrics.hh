@@ -17,6 +17,7 @@
 #define RISC1_OBS_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace risc1 {
@@ -24,6 +25,20 @@ class JsonWriter;
 } // namespace risc1
 
 namespace risc1::obs {
+
+/**
+ * One memory-hierarchy level's contribution to a job, copied from the
+ * job's deterministic statistics so timelines and metrics consumers
+ * can relate wall-clock behavior to cache pressure without re-parsing
+ * the result's "mem" block (docs/MEMORY.md).
+ */
+struct LevelMetrics
+{
+    std::string level;  ///< "l1i", "l1d", or "l2"
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t penaltyCycles = 0;
+};
 
 /** Timing collected around one job's execution. */
 struct JobMetrics
@@ -40,6 +55,8 @@ struct JobMetrics
     double cpuMs = 0.0;
     /** Executed steps per wall-clock second (0 for an instant job). */
     double stepsPerSec = 0.0;
+    /** Per-level cache pressure (empty without a hierarchy). */
+    std::vector<LevelMetrics> memLevels;
 
     /** Write this object as the value of an already-emitted key. */
     void writeJson(JsonWriter &w) const;

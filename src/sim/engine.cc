@@ -97,6 +97,23 @@ replayPostmortem(const SimJob &job, const std::string &backend)
     return obs::renderPostmortem(trace);
 }
 
+/** Copy the job's per-level cache counters into its metrics block so
+ *  metrics consumers see cache pressure next to the wall-clock data. */
+void
+fillMemLevels(obs::JobMetrics &jm, const target::TargetStats &stats)
+{
+    const mem::HierarchyStats &h = stats.memHierarchy();
+    const auto add = [&jm](const char *name,
+                           const std::optional<mem::LevelStats> &s) {
+        if (s)
+            jm.memLevels.push_back(
+                {name, s->accesses(), s->misses, s->penaltyCycles});
+    };
+    add("l1i", h.l1i);
+    add("l1d", h.l1d);
+    add("l2", h.l2);
+}
+
 /** Calling thread's CPU time in milliseconds (0 where unsupported). */
 double
 threadCpuMs()
@@ -157,6 +174,8 @@ runJob(const SimJob &job, std::size_t index)
     }
     if (!res.stats)
         res.stats = target::emptyStats(res.backend);
+    if (res.stats)
+        fillMemLevels(res.metrics, *res.stats);
     return res;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "mem/config.hh"
 #include "target/registry.hh"
 #include "workloads/workloads.hh"
 
@@ -62,22 +63,13 @@ parseBool(const std::string &value, int line, const std::string &key)
               "' for key '", key, "'"));
 }
 
-CacheConfig
+/** One cache-level spec, via the parser riscsim's flags share
+ *  (mem/config.hh), with the job-file line in the error message. */
+mem::LevelConfig
 parseCache(const std::string &value, int line, const std::string &key)
 {
-    std::istringstream in(value);
-    std::string part;
-    std::vector<std::uint64_t> nums;
-    while (std::getline(in, part, ','))
-        nums.push_back(parseUint(trim(part), line, key));
-    if (nums.size() != 3)
-        fatal(cat("job file line ", line, ": '", key,
-                  "' needs size,line,missPenalty"));
-    CacheConfig cfg;
-    cfg.sizeBytes = static_cast<std::uint32_t>(nums[0]);
-    cfg.lineBytes = static_cast<std::uint32_t>(nums[1]);
-    cfg.missPenaltyCycles = static_cast<unsigned>(nums[2]);
-    return cfg;
+    return mem::parseLevelSpec(
+        value, cat("job file line ", line, ": '", key, "'"));
 }
 
 SimJob
@@ -120,6 +112,18 @@ materialize(const RawJob &raw, std::size_t jobIndex,
             job.config.risc.icache = parseCache(value, line, key);
         } else if (key == "dcache") {
             job.config.risc.dcache = parseCache(value, line, key);
+        } else if (key == "l1i" || key == "l1d" || key == "l2") {
+            // Hierarchy levels apply to whichever backend runs the
+            // job: both configs carry the same mem::HierarchyConfig.
+            const mem::LevelConfig level = parseCache(value, line, key);
+            auto &risc = job.config.risc.caches;
+            auto &vax = job.config.vax.caches;
+            if (key == "l1i")
+                risc.l1i = vax.l1i = level;
+            else if (key == "l1d")
+                risc.l1d = vax.l1d = level;
+            else
+                risc.l2 = vax.l2 = level;
         } else if (key == "maxsteps") {
             job.maxSteps = parseUint(value, line, key);
         } else if (key == "fast") {
@@ -130,8 +134,8 @@ materialize(const RawJob &raw, std::size_t jobIndex,
         } else {
             fatal(cat("job file line ", line, ": unknown key '", key,
                       "' (valid: machine, id, workload, file, windows, "
-                      "windowed, icache, dcache, maxsteps, fast, "
-                      "expect)"));
+                      "windowed, icache, dcache, l1i, l1d, l2, "
+                      "maxsteps, fast, expect)"));
         }
     }
 

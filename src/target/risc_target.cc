@@ -11,10 +11,8 @@ RiscTargetStats::writeJson(JsonWriter &w) const
 {
     w.key("stats");
     run.writeJson(w);
-    w.key("icache");
-    icache.writeJson(w);
-    w.key("dcache");
-    dcache.writeJson(w);
+    w.key("mem");
+    caches.writeJson(w);
 }
 
 const RiscTargetStats &
@@ -53,8 +51,7 @@ RiscTarget::stats() const
 {
     auto stats = std::make_shared<RiscTargetStats>();
     stats->run = machine_.stats();
-    stats->icache = machine_.icacheStats();
-    stats->dcache = machine_.dcacheStats();
+    stats->caches = machine_.memHierarchyStats();
     return stats;
 }
 

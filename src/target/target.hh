@@ -25,6 +25,7 @@
 
 #include "core/machine.hh"
 #include "core/outcome.hh"
+#include "mem/hierarchy.hh"
 #include "memory/memory.hh"
 #include "vax/vmachine.hh"
 
@@ -66,9 +67,18 @@ class TargetStats
     virtual std::uint64_t returns() const = 0;
 
     /**
-     * Write this backend's statistics blocks — `"stats"` plus any
-     * per-ISA extensions — as keyed fields into the enclosing result
-     * object of @p w (see docs/SIM.md for the artifact schema).
+     * Per-level memory-hierarchy statistics (mem/hierarchy.hh) —
+     * identical on every backend, so cache experiments and the engine
+     * metrics read them without downcasting.  Empty when the job ran
+     * without a hierarchy.
+     */
+    virtual const mem::HierarchyStats &memHierarchy() const = 0;
+
+    /**
+     * Write this backend's statistics blocks — `"stats"`, the shared
+     * `"mem"` hierarchy block, plus any per-ISA extensions — as keyed
+     * fields into the enclosing result object of @p w (see
+     * docs/SIM.md and docs/MEMORY.md for the artifact schema).
      */
     virtual void writeJson(JsonWriter &w) const = 0;
 };
@@ -77,13 +87,16 @@ class TargetStats
 struct RiscTargetStats final : TargetStats
 {
     RunStats run;
-    CacheStats icache;
-    CacheStats dcache;
+    mem::HierarchyStats caches;
 
     std::uint64_t cycles() const override { return run.cycles; }
     std::uint64_t instructions() const override { return run.instructions; }
     std::uint64_t calls() const override { return run.calls; }
     std::uint64_t returns() const override { return run.returns; }
+    const mem::HierarchyStats &memHierarchy() const override
+    {
+        return caches;
+    }
     void writeJson(JsonWriter &w) const override;
 };
 
@@ -91,11 +104,16 @@ struct RiscTargetStats final : TargetStats
 struct VaxTargetStats final : TargetStats
 {
     VaxStats vax;
+    mem::HierarchyStats caches;
 
     std::uint64_t cycles() const override { return vax.cycles; }
     std::uint64_t instructions() const override { return vax.instructions; }
     std::uint64_t calls() const override { return vax.calls; }
     std::uint64_t returns() const override { return vax.returns; }
+    const mem::HierarchyStats &memHierarchy() const override
+    {
+        return caches;
+    }
     void writeJson(JsonWriter &w) const override;
 };
 

@@ -11,6 +11,10 @@ VaxTargetStats::writeJson(JsonWriter &w) const
 {
     w.key("stats");
     vax.writeJson(w);
+    // Same "mem" schema as the RISC backend — the artifact's
+    // memory-stats block is backend-agnostic (docs/MEMORY.md).
+    w.key("mem");
+    caches.writeJson(w);
 }
 
 const VaxTargetStats &
@@ -49,6 +53,7 @@ VaxTarget::stats() const
 {
     auto stats = std::make_shared<VaxTargetStats>();
     stats->vax = machine_.stats();
+    stats->caches = machine_.memHierarchyStats();
     return stats;
 }
 

@@ -40,6 +40,8 @@ VaxMachine::VaxMachine(const VaxConfig &config)
 {
     if (config_.stackTop % 4 != 0 || config_.stackTop > config_.memorySize)
         fatal("stackTop must be word-aligned and inside memory");
+    if (config_.caches.any())
+        hier_.emplace(config_.caches);
 }
 
 void
@@ -62,6 +64,8 @@ VaxMachine::reset(std::uint32_t entry)
     stats_.reset();
     mem_.resetStats();
     halted_ = false;
+    if (hier_)
+        hier_->reset();
 }
 
 std::uint32_t
@@ -229,6 +233,8 @@ VaxMachine::readRef(const Ref &ref, Width width)
       case Ref::Kind::Mem:
         ++stats_.memOperandReads;
         stats_.cycles += config_.memAccessCycles;
+        if (hier_)
+            stats_.cycles += hier_->data(ref.addr, false);
         switch (width) {
           case Width::Byte: return mem_.readByte(ref.addr);
           case Width::Half: return mem_.readHalf(ref.addr);
@@ -254,6 +260,8 @@ VaxMachine::writeRef(const Ref &ref, std::uint32_t value, Width width)
       case Ref::Kind::Mem:
         ++stats_.memOperandWrites;
         stats_.cycles += config_.memAccessCycles;
+        if (hier_)
+            stats_.cycles += hier_->data(ref.addr, true);
         switch (width) {
           case Width::Byte:
             mem_.writeByte(ref.addr, static_cast<std::uint8_t>(value));
@@ -285,15 +293,20 @@ VaxMachine::push(std::uint32_t value)
     mem_.writeWord(regs_[vaxSp], value);
     ++stats_.memOperandWrites;
     stats_.cycles += config_.memAccessCycles;
+    if (hier_)
+        stats_.cycles += hier_->data(regs_[vaxSp], true);
 }
 
 std::uint32_t
 VaxMachine::pop()
 {
-    const std::uint32_t value = mem_.readWord(regs_[vaxSp]);
+    const std::uint32_t addr = regs_[vaxSp];
+    const std::uint32_t value = mem_.readWord(addr);
     regs_[vaxSp] += 4;
     ++stats_.memOperandReads;
     stats_.cycles += config_.memAccessCycles;
+    if (hier_)
+        stats_.cycles += hier_->data(addr, false);
     return value;
 }
 
@@ -316,6 +329,8 @@ VaxMachine::doCalls(std::uint32_t numArgs, std::uint32_t dst)
         mem_.readByte(dst) | (mem_.readByte(dst + 1) << 8));
     ++stats_.memOperandReads;
     stats_.cycles += config_.memAccessCycles;
+    if (hier_)
+        stats_.cycles += hier_->data(dst, false);
 
     // Save registers R11..R0 per mask (R0 ends nearest the top).
     unsigned saved = 0;
@@ -691,6 +706,14 @@ VaxMachine::step()
         return false;
 
     const std::uint32_t ipc = regs_[vaxPc];
+
+    // One instruction-cache consultation per instruction, at its
+    // start address, before any fetch fault — the fast path mirrors
+    // this at the same point (and delegates here for refStep and
+    // out-of-range PCs), keeping the two paths lockstep-equivalent.
+    if (hier_)
+        stats_.cycles += hier_->fetch(ipc);
+
     const auto opByte = static_cast<VaxOpcode>(fetchByte());
     const VaxOpInfo *info = vaxOpcodeInfo(opByte);
     if (!info)
@@ -930,6 +953,11 @@ VaxMachine::runFast(std::uint64_t maxSteps)
             continue;
         }
 
+        // Same per-instruction cache consultation as step(), at the
+        // same point (instruction start, before stream accounting).
+        if (hier_)
+            stats_.cycles += hier_->fetch(pc);
+
         // Account the instruction stream exactly as the byte-wise
         // reference fetch loop would.
         for (unsigned i = 0; i < p.len; ++i)
@@ -1015,6 +1043,8 @@ VaxMachine::snapshot() const
     s.stats = stats_;
     s.memStats = mem_.stats();
     s.pages = mem_.dirtyPages();
+    if (hier_)
+        s.caches = hier_->snapshot();
     return s;
 }
 
@@ -1035,6 +1065,12 @@ VaxMachine::restore(const VaxSnapshot &snap)
     // on its next execution with no explicit flush.
     mem_.restoreContents(snap.pages);
     mem_.setStats(snap.memStats);
+
+    // Caches are timing state, not architectural state: each level
+    // whose geometry matches the snapshot resumes warm, any other
+    // level starts cold (same fork semantics as the RISC machine).
+    if (hier_)
+        hier_->restore(snap.caches);
 }
 
 } // namespace risc1

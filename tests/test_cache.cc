@@ -1,10 +1,10 @@
-/** Tests for the cache model and its machine integration. */
+/** Tests for the cache-level model and its machine integration. */
 
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
 #include "helpers.hh"
-#include "memory/cache.hh"
+#include "mem/level.hh"
 #include "workloads/workloads.hh"
 
 namespace risc1 {
@@ -12,28 +12,29 @@ namespace {
 
 TEST(Cache, ColdMissThenHit)
 {
-    CacheModel cache(CacheConfig{64, 16, 4});
-    EXPECT_FALSE(cache.access(0x1000));
-    EXPECT_TRUE(cache.access(0x1000));
-    EXPECT_TRUE(cache.access(0x100c)); // same 16-byte line
-    EXPECT_FALSE(cache.access(0x1010)); // next line
+    mem::Level cache(CacheConfig{64, 16, 4});
+    EXPECT_FALSE(cache.access(0x1000).hit);
+    EXPECT_TRUE(cache.access(0x1000).hit);
+    EXPECT_TRUE(cache.access(0x100c).hit); // same 16-byte line
+    EXPECT_FALSE(cache.access(0x1010).hit); // next line
     EXPECT_EQ(cache.stats().hits, 2u);
     EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().penaltyCycles, 8u); // 2 misses x 4
 }
 
 TEST(Cache, DirectMappedConflicts)
 {
     // 64B / 16B lines = 4 lines; addresses 64 apart collide.
-    CacheModel cache(CacheConfig{64, 16, 4});
-    EXPECT_FALSE(cache.access(0x0));
-    EXPECT_FALSE(cache.access(0x40));  // evicts line 0
-    EXPECT_FALSE(cache.access(0x0));   // miss again
+    mem::Level cache(CacheConfig{64, 16, 4});
+    EXPECT_FALSE(cache.access(0x0).hit);
+    EXPECT_FALSE(cache.access(0x40).hit);  // evicts line 0
+    EXPECT_FALSE(cache.access(0x0).hit);   // miss again
     EXPECT_EQ(cache.stats().hits, 0u);
 }
 
 TEST(Cache, LoopFitsEntirely)
 {
-    CacheModel cache(CacheConfig{256, 16, 4});
+    mem::Level cache(CacheConfig{256, 16, 4});
     // A 16-word (64-byte) loop touched 100 times.
     for (int iter = 0; iter < 100; ++iter)
         for (std::uint32_t pc = 0x1000; pc < 0x1040; pc += 4)
@@ -45,18 +46,41 @@ TEST(Cache, LoopFitsEntirely)
 
 TEST(Cache, BadGeometryRejected)
 {
-    EXPECT_THROW(CacheModel(CacheConfig{100, 16, 4}), FatalError);
-    EXPECT_THROW(CacheModel(CacheConfig{64, 3, 4}), FatalError);
-    EXPECT_THROW(CacheModel(CacheConfig{8, 16, 4}), FatalError);
+    EXPECT_THROW(mem::Level(CacheConfig{100, 16, 4}), FatalError);
+    EXPECT_THROW(mem::Level(CacheConfig{64, 3, 4}), FatalError);
+    EXPECT_THROW(mem::Level(CacheConfig{8, 16, 4}), FatalError);
 }
 
 TEST(Cache, ResetInvalidates)
 {
-    CacheModel cache;
+    mem::Level cache;
     cache.access(0x1000);
     cache.reset();
-    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_FALSE(cache.access(0x1000).hit);
     EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, WriteThroughNeverWritesBack)
+{
+    mem::Level cache(CacheConfig{64, 16, 4});
+    cache.access(0x0, true);
+    cache.access(0x40, true);  // evicts line 0 — clean under WT
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+    EXPECT_EQ(cache.stats().penaltyCycles, 8u);
+}
+
+TEST(Cache, WriteBackChargesDirtyEviction)
+{
+    mem::Level cache(
+        CacheConfig{64, 16, 4, mem::WritePolicy::WriteBack});
+    cache.access(0x0, true);              // miss, line dirtied
+    const auto evict = cache.access(0x40, false); // evicts dirty line
+    EXPECT_FALSE(evict.hit);
+    EXPECT_EQ(evict.cycles, 8u); // fill + victim writeback
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    // A read-allocated line evicts for free.
+    cache.access(0x80, false); // evicts the clean 0x40 line
+    EXPECT_EQ(cache.stats().writebacks, 1u);
 }
 
 TEST(MachineIcache, DisabledByDefault)

@@ -117,6 +117,16 @@ TEST(GoldenTables, CallCost)
     checkGolden("table_call_cost", "table_call_cost.txt");
 }
 
+TEST(GoldenTables, IcacheSweep)
+{
+    checkGolden("fig_icache_sweep", "fig_icache_sweep.txt");
+}
+
+TEST(GoldenTables, MemHierarchy)
+{
+    checkGolden("fig_mem_hierarchy", "fig_mem_hierarchy.txt");
+}
+
 } // namespace
 } // namespace risc1
 

@@ -76,5 +76,38 @@ INSTANTIATE_TEST_SUITE_P(
                       "puzzle_sub"),
     [](const auto &info) { return info.param; });
 
+TEST(PipelineModel, MemAwareReplayMatchesMachineWithHierarchy)
+{
+    // With a two-level hierarchy fitted, the analytic total gains
+    // exactly the hierarchy's penalty cycles; the mem-aware replay
+    // must account for them and still reproduce the machine.
+    const Workload &w = findWorkload("qsort_rec");
+    MachineConfig cfg;
+    cfg.caches.l1i = mem::LevelConfig{128, 16, 4};
+    cfg.caches.l1d = mem::LevelConfig{128, 16, 4};
+    cfg.caches.l2 = mem::LevelConfig{512, 32, 12};
+    Machine m(cfg);
+    std::vector<InstClass> trace;
+    test::ProbeTrace probe([&](const obs::TraceEvent &ev) {
+        const Instruction inst =
+            Instruction::decode(m.memory().peekWord(ev.pc));
+        trace.push_back(opcodeInfo(inst.op)->cls);
+    });
+    m.setTrace(probe.get());
+    m.loadProgram(assembleRisc(w.riscSource));
+    m.run();
+
+    const mem::HierarchyStats memStats = m.memHierarchyStats();
+    ASSERT_GT(memStats.penaltyCycles(), 0u);
+    const PipelineResult structural = simulateTwoStage(trace, memStats);
+    const std::uint64_t analytic =
+        m.stats().cycles - trapCycles(m.stats(), m.config().timing);
+    EXPECT_EQ(structural.memStallCycles, memStats.penaltyCycles());
+    EXPECT_EQ(structural.cycles, analytic);
+    // The plain replay is the same run minus the memory stalls.
+    EXPECT_EQ(simulateTwoStage(trace).cycles,
+              structural.cycles - structural.memStallCycles);
+}
+
 } // namespace
 } // namespace risc1

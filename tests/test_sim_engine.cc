@@ -215,8 +215,10 @@ TEST(SimEngine, SnapshotForkMatchesFreshRun)
     EXPECT_EQ(results[2].checksum, w.expected);
     EXPECT_EQ(riscRun(results[2]).instructions,
               riscRun(results[0]).instructions);
-    EXPECT_GT(target::riscStats(*results[2].stats).icache.accesses(),
-              0u);
+    ASSERT_TRUE(target::riscStats(*results[2].stats).caches.l1i);
+    EXPECT_GT(
+        target::riscStats(*results[2].stats).caches.l1i->accesses(),
+        0u);
 }
 
 TEST(SimEngine, VaxSnapshotForkMatchesFreshRun)
