@@ -1,0 +1,474 @@
+/**
+ * riscload — load generator for riscserved (docs/SERVER.md).
+ *
+ * Opens N connections, creates M sessions on each, then fires a
+ * seeded, scripted command mix (run/step/regs/peek/stats/snapshot+
+ * fork) at the daemon and reports command-latency percentiles and
+ * session-creation throughput:
+ *
+ *     riscload --unix riscserved.sock --connections 4 --sessions 256 \
+ *              --ops 2000 --out bench/out/BENCH_server.json
+ *
+ * Flags:
+ *     --unix PATH / --tcp PORT   where the daemon listens
+ *     --connections N            client threads (one connection each)
+ *     --sessions M               sessions created per connection
+ *     --ops K                    scripted commands per connection
+ *     --seed S                   PRNG seed (default 1; deterministic
+ *                                command script per seed)
+ *     --workload ID              program each session runs
+ *     --mem BYTES                per-session memory ("mem" on create)
+ *     --run-steps N              maxSteps for scripted `run` commands
+ *     --out FILE                 write the JSON report (BENCH_server)
+ *     --p99-limit-ms X           exit 1 when p99 latency exceeds X
+ *     --keep                     skip the final destroy pass
+ *
+ * Exit status: 0 on success, 1 when any command failed or the p99
+ * limit was exceeded, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "server/client.hh"
+
+using namespace risc1;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct LoadConfig
+{
+    std::string unixPath;
+    bool tcp = false;
+    std::uint16_t tcpPort = 0;
+    unsigned connections = 4;
+    unsigned sessions = 64;
+    unsigned ops = 500;
+    std::uint64_t seed = 1;
+    std::string workload = "fib_rec";
+    std::uint64_t memBytes = 256 * 1024;
+    std::uint64_t runSteps = 20'000;
+    std::string outPath;
+    double p99LimitMs = 0.0; // 0 = no limit
+    bool keep = false;
+};
+
+/** Per-command-kind latency samples (milliseconds). */
+struct CommandSamples
+{
+    const char *name;
+    std::vector<double> ms;
+};
+
+struct WorkerReport
+{
+    std::vector<double> createMs;  ///< session-creation latencies
+    std::vector<CommandSamples> perCommand;
+    std::uint64_t errors = 0;
+    std::string firstError;
+};
+
+double
+msSince(Clock::time_point from)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - from)
+        .count();
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/** The scripted mix: cumulative weights out of 100. */
+enum class Op { Run, Step, Regs, Peek, Stats, SnapshotFork };
+
+Op
+pickOp(Rng &rng)
+{
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 35)
+        return Op::Run;
+    if (roll < 55)
+        return Op::Step;
+    if (roll < 70)
+        return Op::Regs;
+    if (roll < 85)
+        return Op::Peek;
+    if (roll < 95)
+        return Op::Stats;
+    return Op::SnapshotFork;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Run:
+        return "run";
+      case Op::Step:
+        return "step";
+      case Op::Regs:
+        return "regs";
+      case Op::Peek:
+        return "peek";
+      case Op::Stats:
+        return "stats";
+      case Op::SnapshotFork:
+        return "snapshotFork";
+    }
+    return "?";
+}
+
+void
+workerMain(const LoadConfig &cfg, unsigned lane, WorkerReport &report)
+{
+    for (Op op : {Op::Run, Op::Step, Op::Regs, Op::Peek, Op::Stats,
+                  Op::SnapshotFork})
+        report.perCommand.push_back({opName(op), {}});
+    const auto samplesFor = [&report](Op op) -> std::vector<double> & {
+        return report.perCommand[std::size_t(op)].ms;
+    };
+
+    try {
+        server::Client client =
+            cfg.tcp ? server::Client::connectTcp(cfg.tcpPort)
+                    : server::Client::connectUnix(cfg.unixPath);
+
+        // Alternate backends across sessions so both machines are
+        // resident at once.
+        std::vector<std::string> ids;
+        ids.reserve(cfg.sessions);
+        for (unsigned s = 0; s < cfg.sessions; ++s) {
+            const char *backend = s % 2 == 0 ? "risc" : "vax";
+            const auto t0 = Clock::now();
+            const JsonValue resp = client.callOk(
+                cat("{\"cmd\":\"create\",\"backend\":\"", backend,
+                    "\",\"workload\":\"", cfg.workload,
+                    "\",\"mem\":", cfg.memBytes, "}"));
+            report.createMs.push_back(msSince(t0));
+            ids.push_back(resp.stringOr("session", ""));
+        }
+
+        Rng rng(cfg.seed * 1000003 + lane);
+        for (unsigned i = 0; i < cfg.ops; ++i) {
+            const std::string &id = ids[rng.below(ids.size())];
+            const Op op = pickOp(rng);
+            const auto t0 = Clock::now();
+            try {
+                switch (op) {
+                  case Op::Run:
+                    client.callOk(cat("{\"cmd\":\"run\",\"session\":\"",
+                                      id, "\",\"maxSteps\":",
+                                      cfg.runSteps, "}"));
+                    break;
+                  case Op::Step:
+                    client.callOk(cat("{\"cmd\":\"step\",\"session\":\"",
+                                      id, "\",\"count\":",
+                                      1 + rng.below(64), "}"));
+                    break;
+                  case Op::Regs:
+                    client.callOk(cat("{\"cmd\":\"regs\",\"session\":\"",
+                                      id, "\"}"));
+                    break;
+                  case Op::Peek:
+                    client.callOk(cat("{\"cmd\":\"peek\",\"session\":\"",
+                                      id, "\",\"addr\":",
+                                      4 * rng.below(64), ",\"count\":",
+                                      1 + rng.below(16), "}"));
+                    break;
+                  case Op::Stats:
+                    client.callOk(cat("{\"cmd\":\"stats\",\"session\":\"",
+                                      id, "\"}"));
+                    break;
+                  case Op::SnapshotFork: {
+                    const JsonValue snap = client.callOk(
+                        cat("{\"cmd\":\"snapshot\",\"session\":\"", id,
+                            "\"}"));
+                    const std::string snapId =
+                        snap.stringOr("snapshot", "");
+                    const JsonValue fork = client.callOk(
+                        cat("{\"cmd\":\"fork\",\"snapshot\":\"", snapId,
+                            "\"}"));
+                    client.callOk(
+                        cat("{\"cmd\":\"destroy\",\"session\":\"",
+                            fork.stringOr("session", ""), "\"}"));
+                    client.callOk(cat("{\"cmd\":\"drop\",\"snapshot\":\"",
+                                      snapId, "\"}"));
+                    break;
+                  }
+                }
+                samplesFor(op).push_back(msSince(t0));
+            } catch (const std::exception &e) {
+                ++report.errors;
+                if (report.firstError.empty())
+                    report.firstError = e.what();
+            }
+        }
+
+        if (!cfg.keep)
+            for (const std::string &id : ids)
+                client.callOk(cat("{\"cmd\":\"destroy\",\"session\":\"",
+                                  id, "\"}"));
+    } catch (const std::exception &e) {
+        ++report.errors;
+        if (report.firstError.empty())
+            report.firstError = e.what();
+    }
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: riscload (--unix PATH | --tcp PORT)\n"
+           "                [--connections N] [--sessions M] [--ops K]\n"
+           "                [--seed S] [--workload ID] [--mem BYTES]\n"
+           "                [--run-steps N] [--out FILE]\n"
+           "                [--p99-limit-ms X] [--keep]\n";
+    return 2;
+}
+
+bool
+parseU64(const std::string &value, std::uint64_t &out)
+{
+    if (value.empty() || value.size() > 18 ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::stoull(value);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        std::uint64_t n = 0;
+        if (arg == "--unix") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.unixPath = v;
+        } else if (arg == "--tcp") {
+            const char *v = value();
+            if (!v || !parseU64(v, n) || n > 65535)
+                return usage();
+            cfg.tcp = true;
+            cfg.tcpPort = static_cast<std::uint16_t>(n);
+        } else if (arg == "--connections") {
+            const char *v = value();
+            if (!v || !parseU64(v, n) || n == 0)
+                return usage();
+            cfg.connections = static_cast<unsigned>(n);
+        } else if (arg == "--sessions") {
+            const char *v = value();
+            if (!v || !parseU64(v, n) || n == 0)
+                return usage();
+            cfg.sessions = static_cast<unsigned>(n);
+        } else if (arg == "--ops") {
+            const char *v = value();
+            if (!v || !parseU64(v, n))
+                return usage();
+            cfg.ops = static_cast<unsigned>(n);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            if (!v || !parseU64(v, n))
+                return usage();
+            cfg.seed = n;
+        } else if (arg == "--workload") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.workload = v;
+        } else if (arg == "--mem") {
+            const char *v = value();
+            if (!v || !parseU64(v, n) || n == 0)
+                return usage();
+            cfg.memBytes = n;
+        } else if (arg == "--run-steps") {
+            const char *v = value();
+            if (!v || !parseU64(v, n) || n == 0)
+                return usage();
+            cfg.runSteps = n;
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.outPath = v;
+        } else if (arg == "--p99-limit-ms") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            try {
+                cfg.p99LimitMs = std::stod(v);
+            } catch (const std::exception &) {
+                return usage();
+            }
+        } else if (arg == "--keep") {
+            cfg.keep = true;
+        } else {
+            return usage();
+        }
+    }
+    if (cfg.unixPath.empty() && !cfg.tcp)
+        return usage();
+
+    std::vector<WorkerReport> reports(cfg.connections);
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.connections);
+    const auto start = Clock::now();
+    for (unsigned c = 0; c < cfg.connections; ++c)
+        threads.emplace_back(workerMain, std::cref(cfg), c,
+                             std::ref(reports[c]));
+    for (auto &t : threads)
+        t.join();
+    const double wallMs = msSince(start);
+
+    // Merge.
+    std::vector<double> all;
+    std::vector<double> creates;
+    std::vector<CommandSamples> merged;
+    std::uint64_t errors = 0;
+    std::string firstError;
+    std::uint64_t ops = 0;
+    for (const WorkerReport &r : reports) {
+        creates.insert(creates.end(), r.createMs.begin(),
+                       r.createMs.end());
+        errors += r.errors;
+        if (firstError.empty())
+            firstError = r.firstError;
+        for (const CommandSamples &c : r.perCommand) {
+            auto it = std::find_if(merged.begin(), merged.end(),
+                                   [&c](const CommandSamples &m) {
+                                       return std::strcmp(m.name,
+                                                          c.name) == 0;
+                                   });
+            if (it == merged.end()) {
+                merged.push_back({c.name, {}});
+                it = merged.end() - 1;
+            }
+            it->ms.insert(it->ms.end(), c.ms.begin(), c.ms.end());
+            all.insert(all.end(), c.ms.begin(), c.ms.end());
+            ops += c.ms.size();
+        }
+    }
+    std::sort(all.begin(), all.end());
+    std::sort(creates.begin(), creates.end());
+
+    const double p50 = percentile(all, 0.50);
+    const double p90 = percentile(all, 0.90);
+    const double p99 = percentile(all, 0.99);
+    const double opsPerSec =
+        wallMs > 0.0 ? double(ops) / (wallMs / 1e3) : 0.0;
+    const double createWallMs = creates.empty() ? 0.0 : [&] {
+        double total = 0.0;
+        for (const double ms : creates)
+            total += ms;
+        return total;
+    }();
+    const double sessionsPerSec =
+        createWallMs > 0.0
+            ? double(creates.size()) /
+                  (createWallMs / 1e3 / double(cfg.connections))
+            : 0.0;
+
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "server")
+        .field("connections", std::uint64_t(cfg.connections))
+        .field("sessionsPerConnection", std::uint64_t(cfg.sessions))
+        .field("sessions", std::uint64_t(creates.size()))
+        .field("ops", ops)
+        .field("errors", errors)
+        .field("wallMs", wallMs)
+        .field("opsPerSec", opsPerSec)
+        .field("sessionsPerSec", sessionsPerSec)
+        .field("seed", cfg.seed)
+        .field("workload", cfg.workload)
+        .field("runSteps", cfg.runSteps);
+    w.key("latencyMs")
+        .beginObject()
+        .field("p50", p50)
+        .field("p90", p90)
+        .field("p99", p99)
+        .field("max", all.empty() ? 0.0 : all.back())
+        .endObject();
+    w.key("createMs")
+        .beginObject()
+        .field("p50", percentile(creates, 0.50))
+        .field("p99", percentile(creates, 0.99))
+        .field("max", creates.empty() ? 0.0 : creates.back())
+        .endObject();
+    w.key("perCommand").beginObject();
+    for (CommandSamples &c : merged) {
+        std::sort(c.ms.begin(), c.ms.end());
+        w.key(c.name)
+            .beginObject()
+            .field("count", std::uint64_t(c.ms.size()))
+            .field("p50", percentile(c.ms, 0.50))
+            .field("p99", percentile(c.ms, 0.99))
+            .endObject();
+    }
+    w.endObject().endObject();
+
+    const std::string json = w.str();
+    if (!cfg.outPath.empty()) {
+        const auto parent =
+            std::filesystem::path(cfg.outPath).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream out(cfg.outPath);
+        if (!out) {
+            std::cerr << "riscload: cannot write " << cfg.outPath
+                      << "\n";
+            return 1;
+        }
+        out << json << "\n";
+        std::cout << "riscload: report written to " << cfg.outPath
+                  << "\n";
+    }
+
+    std::cout << "riscload: " << creates.size() << " sessions, " << ops
+              << " ops in " << wallMs << " ms (" << opsPerSec
+              << " ops/s, " << sessionsPerSec
+              << " sessions/s), p50=" << p50 << "ms p99=" << p99
+              << "ms, errors=" << errors << "\n";
+    if (errors != 0) {
+        std::cerr << "riscload: first error: " << firstError << "\n";
+        return 1;
+    }
+    if (cfg.p99LimitMs > 0.0 && p99 > cfg.p99LimitMs) {
+        std::cerr << "riscload: p99 " << p99 << " ms exceeds limit "
+                  << cfg.p99LimitMs << " ms\n";
+        return 1;
+    }
+    return 0;
+}

@@ -19,6 +19,8 @@
  * failed (or on a driver error); 2 on a usage error.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -34,6 +36,21 @@
 using namespace risc1;
 
 namespace {
+
+/**
+ * Set by SIGINT/SIGTERM.  The engine checks it before starting each
+ * job (BatchOptions::cancel): jobs already on workers finish, the
+ * rest drain as "canceled", and the artifact/exit status are still
+ * written — an interrupted sweep leaves a truthful partial record
+ * instead of nothing.
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 int
 usage()
@@ -121,7 +138,13 @@ main(int argc, char **argv)
 
     try {
         const auto jobs = sim::loadJobFile(jobPath);
+        options.cancel = &g_interrupted;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
         const auto report = sim::runBatchReport(jobs, options);
+        if (g_interrupted.load())
+            std::cerr << "riscbatch: interrupted — not-yet-started "
+                         "jobs canceled, artifact still written\n";
         const auto &results = report.results;
 
         Table table({"job", "machine", "status", "steps", "cycles",

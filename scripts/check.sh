@@ -11,7 +11,7 @@
 #
 # ctest runs in labeled stages (see docs/TESTING.md) so a failure names
 # the ring that broke: unit -> property -> differential -> target ->
-# vax -> obs -> mem -> golden -> bench.
+# vax -> obs -> mem -> server -> golden -> bench.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +34,7 @@ cmake --build "$BUILD" -j
 
 run_stages() {
     dir="$1"
-    for label in unit property differential target vax obs mem golden bench; do
+    for label in unit property differential target vax obs mem server golden bench; do
         echo
         echo "== ctest stage: $label =="
         (cd "$dir" && ctest -L "$label" --output-on-failure -j)
@@ -86,6 +86,54 @@ for f in riscbatch_smoke.json riscbatch_timeline.json; do
         exit 1
     }
 done
+
+echo
+echo "== server smoke: riscserved + riscload (docs/SERVER.md) =="
+# Boot the daemon on a Unix socket with aggressive TTL eviction, park
+# 1024 sessions in it (4 connections x 256), verify the load report
+# and that idle sessions really spooled to disk, then check SIGTERM
+# drains to exit 0.
+# Paths stay relative to the repo root (Unix socket paths are capped
+# at ~107 bytes, so no absolute $PWD prefixes).
+SRV_SOCK="$BUILD/rs_check.sock"
+SRV_SPOOL="$BUILD/rs_check.spool"
+SRV_LOG="$BUILD/rs_check.log"
+rm -rf "$SRV_SPOOL" "$SRV_SOCK" "$SRV_LOG"
+"$BUILD/examples/riscserved" --unix "$SRV_SOCK" \
+    --ttl-ms 300 --spool "$SRV_SPOOL" > "$SRV_LOG" 2>&1 &
+SRV_PID=$!
+i=0
+until grep -q "riscserved: ready" "$SRV_LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && {
+        echo "riscserved did not come up" >&2
+        cat "$SRV_LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+"$BUILD/bench/riscload" --unix "$SRV_SOCK" \
+    --connections 4 --sessions 256 --ops 120 --keep \
+    --p99-limit-ms 2000 --out "$BUILD/bench/out/BENCH_server.json"
+test -s "$BUILD/bench/out/BENCH_server.json" || {
+    echo "missing artifact: $BUILD/bench/out/BENCH_server.json" >&2
+    exit 1
+}
+# The 1024 kept sessions go idle; the 300 ms TTL must spool them.
+sleep 1
+SNAPS=$(ls "$SRV_SPOOL" 2>/dev/null | wc -l)
+[ "$SNAPS" -gt 0 ] || {
+    echo "TTL eviction produced no spool files in $SRV_SPOOL" >&2
+    exit 1
+}
+echo "-- riscload ok, $SNAPS sessions evicted to spool"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "riscserved exited non-zero on SIGTERM" >&2
+    cat "$SRV_LOG" >&2
+    exit 1
+}
+rm -rf "$SRV_SPOOL" "$SRV_SOCK" "$SRV_LOG"
 
 echo
 echo "== bench smoke: dispatch fast path =="

@@ -26,6 +26,20 @@ JobMetrics::writeJson(JsonWriter &w) const
 }
 
 void
+SessionMetrics::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("commands", commands)
+        .field("turns", turns)
+        .field("steps", steps)
+        .field("evictions", evictions)
+        .field("restores", restores)
+        .field("execMs", execMs)
+        .field("stepsPerSec", stepsPerSec())
+        .endObject();
+}
+
+void
 BatchMetrics::writeJson(JsonWriter &w) const
 {
     w.beginObject()

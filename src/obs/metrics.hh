@@ -77,6 +77,31 @@ struct QueueSample
     std::uint64_t depth = 0;   ///< jobs still waiting after the pop
 };
 
+/**
+ * Lifetime counters for one riscserved session — the per-session
+ * engine metrics the `stats` command reports next to the target's
+ * deterministic counters (docs/SERVER.md).  Wall-clock members follow
+ * the same rule as JobMetrics: they are observations, never part of a
+ * deterministic artifact.
+ */
+struct SessionMetrics
+{
+    std::uint64_t commands = 0;   ///< commands executed on this session
+    std::uint64_t turns = 0;      ///< quota-sliced scheduling turns
+    std::uint64_t steps = 0;      ///< instructions executed via step/run
+    std::uint64_t evictions = 0;  ///< idle snapshots spooled to disk
+    std::uint64_t restores = 0;   ///< transparent restores from spool
+    double execMs = 0.0;          ///< wall time inside target execution
+    /** Executed steps per wall-clock second (0 for an idle session). */
+    double stepsPerSec() const
+    {
+        return execMs > 0.0 ? steps / (execMs / 1e3) : 0.0;
+    }
+
+    /** Write this object as the value of an already-emitted key. */
+    void writeJson(JsonWriter &w) const;
+};
+
 /** Whole-batch engine metrics. */
 struct BatchMetrics
 {

@@ -1,0 +1,173 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace risc1::server {
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal(cat("unix socket path too long: ", path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(cat("socket(AF_UNIX): ", std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(cat("connect(", path, "): ", std::strerror(err)));
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(cat("socket(AF_INET): ", std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(cat("connect(127.0.0.1:", port,
+                  "): ", std::strerror(err)));
+    }
+    return Client(fd);
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), nextId_(other.nextId_),
+      reader_(std::move(other.reader_)),
+      parked_(std::move(other.parked_))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        nextId_ = other.nextId_;
+        reader_ = std::move(other.reader_);
+        parked_ = std::move(other.parked_);
+    }
+    return *this;
+}
+
+void
+Client::sendBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            fatal(cat("send: ", std::strerror(errno)));
+        sent += std::size_t(n);
+    }
+}
+
+bool
+Client::fill()
+{
+    std::uint8_t buf[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            reader_.feed(buf, std::size_t(n));
+            if (reader_.error() != FrameError::None)
+                fatal(cat("client framing error: ",
+                          frameErrorName(reader_.error())));
+            return true;
+        }
+        if (n == 0)
+            return false;
+        if (errno != EINTR)
+            fatal(cat("recv: ", std::strerror(errno)));
+    }
+}
+
+std::optional<std::string>
+Client::readRawResponse()
+{
+    for (;;) {
+        if (auto frame = reader_.next())
+            return std::move(frame->payload);
+        if (!fill())
+            return std::nullopt;
+    }
+}
+
+std::string
+Client::callRaw(const std::string &requestJson)
+{
+    const std::uint32_t id = nextId_++;
+    const std::vector<std::uint8_t> bytes =
+        encodeFrame(FrameType::Request, id, requestJson);
+    sendBytes(bytes.data(), bytes.size());
+
+    for (;;) {
+        const auto parked = parked_.find(id);
+        if (parked != parked_.end()) {
+            std::string payload = std::move(parked->second);
+            parked_.erase(parked);
+            return payload;
+        }
+        if (auto frame = reader_.next()) {
+            if (frame->id == id)
+                return std::move(frame->payload);
+            parked_.emplace(frame->id, std::move(frame->payload));
+            continue;
+        }
+        if (!fill())
+            fatal("server closed the connection mid-call");
+    }
+}
+
+JsonValue
+Client::call(const std::string &requestJson)
+{
+    return parseJson(callRaw(requestJson));
+}
+
+JsonValue
+Client::callOk(const std::string &requestJson)
+{
+    JsonValue response = call(requestJson);
+    if (!response.boolOr("ok", false))
+        fatal(cat("server error: ",
+                  response.stringOr("error", "(no error message)"),
+                  " for request ", requestJson));
+    return response;
+}
+
+} // namespace risc1::server

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small blocking client for the riscserved protocol — used by
+ * riscload, the socket tests, and anyone scripting the daemon from
+ * C++.  One Client owns one connection; call() sends a request frame
+ * and blocks until the response with the matching id arrives
+ * (out-of-order responses for other ids are parked and matched
+ * later).  Not thread-safe: one Client per thread.
+ */
+
+#ifndef RISC1_SERVER_CLIENT_HH
+#define RISC1_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/json_value.hh"
+#include "server/frame.hh"
+
+namespace risc1::server {
+
+/** Blocking riscserved connection (see file comment). */
+class Client
+{
+  public:
+    /** Connect over a Unix-domain socket.  @throws FatalError. */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect to 127.0.0.1:@p port.  @throws FatalError. */
+    static Client connectTcp(std::uint16_t port);
+
+    ~Client();
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send @p requestJson and return the parsed response payload.
+     * @throws FatalError on connection loss, framing errors, or a
+     * response that is not valid JSON.
+     */
+    JsonValue call(const std::string &requestJson);
+
+    /** call(), but demand `"ok": true` — @throws FatalError with the
+     *  server's error message otherwise. */
+    JsonValue callOk(const std::string &requestJson);
+
+    /** Raw response text for @p requestJson (schema tests). */
+    std::string callRaw(const std::string &requestJson);
+
+    /**
+     * Write arbitrary bytes to the socket — for malformed-frame
+     * tests; pair with readRawResponse().
+     */
+    void sendBytes(const void *data, std::size_t size);
+
+    /**
+     * Read frames until one response arrives and return its payload;
+     * an empty optional means the server closed the connection first.
+     */
+    std::optional<std::string> readRawResponse();
+
+    int fd() const { return fd_; }
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    /** Receive once into the frame reader. @return false on EOF. */
+    bool fill();
+
+    int fd_ = -1;
+    std::uint32_t nextId_ = 1;
+    FrameReader reader_;
+    /** Responses that arrived before their caller asked. */
+    std::unordered_map<std::uint32_t, std::string> parked_;
+};
+
+} // namespace risc1::server
+
+#endif // RISC1_SERVER_CLIENT_HH

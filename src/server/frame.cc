@@ -1,0 +1,124 @@
+#include "server/frame.hh"
+
+#include <cstring>
+
+namespace risc1::server {
+
+std::string_view
+frameErrorName(FrameError error)
+{
+    switch (error) {
+      case FrameError::None:
+        return "none";
+      case FrameError::BadMagic:
+        return "bad magic";
+      case FrameError::BadVersion:
+        return "unsupported protocol version";
+      case FrameError::BadType:
+        return "unknown frame type";
+      case FrameError::Oversized:
+        return "payload exceeds limit";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, std::uint32_t id, std::string_view payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    const auto u16 = [&out](std::uint16_t v) {
+        out.push_back(std::uint8_t(v));
+        out.push_back(std::uint8_t(v >> 8));
+    };
+    const auto u32 = [&out, &u16](std::uint32_t v) {
+        u16(std::uint16_t(v));
+        u16(std::uint16_t(v >> 16));
+    };
+    u16(kFrameMagic);
+    out.push_back(kProtocolVersion);
+    out.push_back(static_cast<std::uint8_t>(type));
+    u32(id);
+    u32(std::uint32_t(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (error_ != FrameError::None)
+        return;
+    buffer_.insert(buffer_.end(), data, data + size);
+    decodeLoop();
+}
+
+void
+FrameReader::decodeLoop()
+{
+    std::size_t pos = 0;
+    const auto u16At = [this](std::size_t at) {
+        return std::uint16_t(buffer_[at] |
+                             (std::uint16_t(buffer_[at + 1]) << 8));
+    };
+    const auto u32At = [&u16At](std::size_t at) {
+        return std::uint32_t(u16At(at)) |
+               (std::uint32_t(u16At(at + 2)) << 16);
+    };
+
+    while (buffer_.size() - pos >= kFrameHeaderBytes) {
+        // Validate the header eagerly so hostile input fails at the
+        // first bad byte, not after buffering a bogus "length" worth.
+        if (u16At(pos) != kFrameMagic) {
+            error_ = FrameError::BadMagic;
+            break;
+        }
+        if (buffer_[pos + 2] != kProtocolVersion) {
+            error_ = FrameError::BadVersion;
+            break;
+        }
+        const std::uint8_t type = buffer_[pos + 3];
+        if (type != static_cast<std::uint8_t>(FrameType::Request) &&
+            type != static_cast<std::uint8_t>(FrameType::Response)) {
+            error_ = FrameError::BadType;
+            break;
+        }
+        const std::uint32_t length = u32At(pos + 8);
+        if (length > maxPayload_) {
+            error_ = FrameError::Oversized;
+            break;
+        }
+        if (buffer_.size() - pos - kFrameHeaderBytes < length)
+            break; // incomplete; wait for more input
+
+        Frame frame;
+        frame.type = static_cast<FrameType>(type);
+        frame.id = u32At(pos + 4);
+        frame.payload.assign(
+            reinterpret_cast<const char *>(buffer_.data() + pos +
+                                           kFrameHeaderBytes),
+            length);
+        ready_.push_back(std::move(frame));
+        pos += kFrameHeaderBytes + length;
+    }
+
+    if (error_ != FrameError::None) {
+        buffer_.clear();
+        return;
+    }
+    if (pos != 0)
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + std::ptrdiff_t(pos));
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    Frame frame = std::move(ready_.front());
+    ready_.erase(ready_.begin());
+    return frame;
+}
+
+} // namespace risc1::server

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Wire framing for the riscserved protocol (docs/SERVER.md).
+ *
+ * Every message is one length-prefixed binary frame with a JSON text
+ * payload:
+ *
+ *     offset  size  field
+ *     0       2     magic 0x5331 ("1S", little-endian)
+ *     2       1     version (currently 1)
+ *     3       1     type (1 = request, 2 = response)
+ *     4       4     request id (echoed verbatim in the response)
+ *     8       4     payload length in bytes
+ *     12      N     payload (UTF-8 JSON document)
+ *
+ * All integers are little-endian.  The framing layer knows nothing
+ * about commands — it only delimits payloads — so it can be fuzzed in
+ * isolation: FrameReader consumes arbitrary byte streams incrementally
+ * and reports structural errors (bad magic, bad version, bad type,
+ * oversized payload) as values, never by crashing or throwing.  After
+ * an error the stream is unrecoverable (framing has no resync marker)
+ * and the connection must close.
+ */
+
+#ifndef RISC1_SERVER_FRAME_HH
+#define RISC1_SERVER_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1::server {
+
+/** Frame type tags (the header's `type` byte). */
+enum class FrameType : std::uint8_t
+{
+    Request = 1,
+    Response = 2,
+};
+
+inline constexpr std::uint16_t kFrameMagic = 0x5331;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/** Default payload cap; a frame claiming more is a framing error. */
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Request;
+    std::uint32_t id = 0;
+    std::string payload;  ///< JSON text (not yet parsed)
+};
+
+/** Why a FrameReader refused its input stream. */
+enum class FrameError : std::uint8_t
+{
+    None = 0,
+    BadMagic,
+    BadVersion,
+    BadType,
+    Oversized,  ///< payload length above the configured cap
+};
+
+/** Human-readable name for @p error. */
+std::string_view frameErrorName(FrameError error);
+
+/** Encode one frame (header + payload) for the wire. */
+std::vector<std::uint8_t> encodeFrame(FrameType type, std::uint32_t id,
+                                      std::string_view payload);
+
+/**
+ * Incremental frame decoder.  Feed it raw bytes as they arrive; take
+ * completed frames out with next().  Once error() is set the reader
+ * ignores further input and next() never yields again — callers must
+ * drop the connection.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::size_t maxPayload = kDefaultMaxPayload)
+        : maxPayload_(maxPayload)
+    {
+    }
+
+    /** Consume @p size bytes of stream input (no-op after an error). */
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    void
+    feed(std::string_view bytes)
+    {
+        feed(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+             bytes.size());
+    }
+
+    void
+    feed(const std::vector<std::uint8_t> &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    /** Pop the next completed frame, if any. */
+    std::optional<Frame> next();
+
+    /** The first structural error encountered, if any. */
+    FrameError error() const { return error_; }
+
+    /** Bytes buffered toward an incomplete frame (for tests). */
+    std::size_t pendingBytes() const { return buffer_.size(); }
+
+  private:
+    void decodeLoop();
+
+    std::size_t maxPayload_;
+    std::vector<std::uint8_t> buffer_;
+    std::vector<Frame> ready_;
+    FrameError error_ = FrameError::None;
+};
+
+} // namespace risc1::server
+
+#endif // RISC1_SERVER_FRAME_HH

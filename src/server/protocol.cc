@@ -1,0 +1,736 @@
+#include "server/protocol.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/json.hh"
+#include "common/json_value.hh"
+#include "common/logging.hh"
+#include "mem/config.hh"
+#include "memory/memory.hh"
+#include "target/registry.hh"
+#include "workloads/workloads.hh"
+
+namespace risc1::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point from)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - from)
+        .count();
+}
+
+/** Most words one `peek` may read (keeps responses frame-sized). */
+constexpr std::uint64_t kMaxPeekWords = 1024;
+
+/** Smallest session memory `create` accepts (code + stack areas). */
+constexpr std::uint64_t kMinMemBytes = 64 * 1024;
+
+constexpr std::uint64_t kDefaultRunSteps = 10'000'000;
+
+/** @throws FatalError if @p session was destroyed after lookup. */
+void
+requireAlive(const Session &session)
+{
+    if (session.destroyed)
+        fatal(cat("unknown session '", session.id, "'"));
+}
+
+/** @throws FatalError unless @p session is alive and not mid-run. */
+void
+requireIdle(const Session &session)
+{
+    requireAlive(session);
+    if (session.runActive)
+        fatal(cat("session ", session.id,
+                  ": run in progress (mutating commands must wait for "
+                  "its reply)"));
+}
+
+void
+touch(Session &session)
+{
+    ++session.metrics.commands;
+    session.lastActive = Clock::now();
+}
+
+void
+okHeader(const Session &session, JsonWriter &w)
+{
+    w.beginObject()
+        .field("ok", true)
+        .field("session", session.id)
+        .field("backend", session.cfg.backend);
+}
+
+} // namespace
+
+std::string
+errorPayload(std::string_view message)
+{
+    JsonWriter w;
+    w.beginObject().field("ok", false).field("error", message).endObject();
+    return w.str();
+}
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      sessions_(config_.spoolDir, config_.maxSessions),
+      engine_(config_.workers, config_.engineQueue)
+{
+    sweeper_ = std::thread(&Service::sweepLoop, this);
+}
+
+Service::~Service()
+{
+    stop();
+}
+
+void
+Service::execute(const std::string &requestJson, ReplyFn reply)
+{
+    std::string payload;
+    try {
+        if (stopping_.load(std::memory_order_acquire))
+            fatal("server shutting down");
+        const JsonValue req = parseJson(requestJson);
+        if (!req.isObject())
+            fatal(cat("request must be a JSON object, got ",
+                      JsonValue::kindName(req.kind())));
+        const std::string cmd = req.stringOr("cmd", "");
+        if (cmd.empty())
+            fatal("request missing 'cmd'");
+
+        if (cmd == "run") {
+            cmdRun(req, reply); // owns the (possibly deferred) reply
+            return;
+        }
+        if (cmd == "ping")
+            payload = cmdPing();
+        else if (cmd == "info")
+            payload = cmdInfo();
+        else if (cmd == "create")
+            payload = cmdCreate(req);
+        else if (cmd == "destroy")
+            payload = cmdDestroy(req);
+        else if (cmd == "step")
+            payload = cmdStep(req);
+        else if (cmd == "peek")
+            payload = cmdPeek(req);
+        else if (cmd == "regs")
+            payload = cmdRegs(req);
+        else if (cmd == "stats")
+            payload = cmdStats(req);
+        else if (cmd == "snapshot")
+            payload = cmdSnapshot(req);
+        else if (cmd == "fork")
+            payload = cmdFork(req);
+        else if (cmd == "evict")
+            payload = cmdEvict(req);
+        else if (cmd == "drop")
+            payload = cmdDrop(req);
+        else
+            fatal(cat("unknown command '", cmd, "'"));
+    } catch (const std::exception &e) {
+        payload = errorPayload(e.what());
+    }
+    reply(std::move(payload));
+}
+
+std::string
+Service::cmdPing() const
+{
+    JsonWriter w;
+    w.beginObject().field("ok", true).field("server", "riscserved")
+        .endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdInfo()
+{
+    const SessionCounts c = sessions_.counts();
+    std::size_t ready = 0;
+    std::size_t inFlight = 0;
+    std::size_t pending = 0;
+    {
+        std::lock_guard sched(schedMutex_);
+        ready = ready_.size();
+        inFlight = inFlight_;
+        pending = pendingRuns_;
+    }
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("server", "riscserved")
+        .field("protocolVersion", std::uint64_t(1))
+        .field("workers", std::uint64_t(engine_.workers()))
+        .field("queueDepth", std::uint64_t(engine_.queueDepth()))
+        .field("queueCapacity", std::uint64_t(engine_.capacity()))
+        .field("quota", config_.quota)
+        .field("ttlMs", std::int64_t(config_.ttlMs))
+        .field("maxSessions", std::uint64_t(config_.maxSessions));
+    w.key("sessions")
+        .beginObject()
+        .field("alive", std::uint64_t(c.sessions))
+        .field("resident", std::uint64_t(c.resident))
+        .field("evicted", std::uint64_t(c.evicted))
+        .field("created", c.created)
+        .field("destroyed", c.destroyed)
+        .field("evictions", c.evictions)
+        .field("restores", c.restores)
+        .field("snapshots", std::uint64_t(c.snapshots))
+        .endObject();
+    w.key("runs")
+        .beginObject()
+        .field("pending", std::uint64_t(pending))
+        .field("ready", std::uint64_t(ready))
+        .field("inFlight", std::uint64_t(inFlight))
+        .endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdCreate(const JsonValue &req)
+{
+    SessionConfig cfg;
+    cfg.backend = std::string(
+        target::canonicalBackend(req.stringOr("backend", "risc")));
+    cfg.fast = req.boolOr("fast", true);
+
+    const std::uint64_t mem = req.u64Or("mem", config_.defaultMemBytes);
+    if (mem < kMinMemBytes || mem > config_.maxMemBytes)
+        fatal(cat("create: mem must be ", kMinMemBytes, "..",
+                  config_.maxMemBytes, " bytes, got ", mem));
+    if (mem % Memory::pageBytes != 0)
+        fatal(cat("create: mem must be a multiple of ", Memory::pageBytes,
+                  " bytes, got ", mem));
+
+    // Scale the fixed memory-map anchors with the session's memory the
+    // same way the 16 MiB defaults sit in a 16 MiB machine: the
+    // register-save area occupies the top 1/16th, the soft frame area
+    // the 1/16th below it, and the baseline's stack grows down from
+    // the save-area floor.
+    auto &risc = cfg.options.risc;
+    auto &vax = cfg.options.vax;
+    risc.memorySize = static_cast<std::uint32_t>(mem);
+    risc.saveAreaTop = static_cast<std::uint32_t>(mem - mem / 16);
+    risc.softAreaTop = static_cast<std::uint32_t>(mem - mem / 8);
+    vax.memorySize = static_cast<std::uint32_t>(mem);
+    vax.stackTop = static_cast<std::uint32_t>(mem - mem / 16);
+
+    if (const JsonValue *windows = req.find("windows"))
+        risc.windows.numWindows = static_cast<unsigned>(windows->asU64());
+    risc.windowedCalls = req.boolOr("windowed", true);
+
+    const auto cacheLevel =
+        [&req](const char *key) -> std::optional<mem::LevelConfig> {
+        const JsonValue *spec = req.find(key);
+        if (!spec)
+            return std::nullopt;
+        return mem::parseLevelSpec(spec->asString(),
+                                   cat("create: '", key, "'"));
+    };
+    // Hierarchy levels apply to whichever backend the session runs
+    // (same convention as job files, sim/jobfile.cc).
+    if (const auto l1i = cacheLevel("l1i"))
+        risc.caches.l1i = vax.caches.l1i = *l1i;
+    if (const auto l1d = cacheLevel("l1d"))
+        risc.caches.l1d = vax.caches.l1d = *l1d;
+    if (const auto l2 = cacheLevel("l2"))
+        risc.caches.l2 = vax.caches.l2 = *l2;
+
+    const std::string workloadId = req.stringOr("workload", "");
+    const std::string source = req.stringOr("source", "");
+    if (workloadId.empty() == source.empty())
+        fatal("create needs exactly one of 'workload' or 'source'");
+    const std::string &text =
+        workloadId.empty()
+            ? source
+            : target::workloadSource(cfg.backend,
+                                     findWorkload(workloadId));
+
+    // Build and load the machine before registering the session so a
+    // failed create leaves no session behind.
+    auto target = target::makeTarget(cfg.backend, cfg.options);
+    target->load(text);
+
+    const auto session = sessions_.create(std::move(cfg));
+    std::uint64_t codeBytes = 0;
+    {
+        std::lock_guard lock(session->mutex);
+        session->target = std::move(target);
+        codeBytes = session->target->codeBytes();
+        touch(*session);
+    }
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("memBytes", mem).field("codeBytes", codeBytes).endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdDestroy(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    std::lock_guard lock(session->mutex);
+    requireIdle(*session);
+    sessions_.destroy(*session);
+    JsonWriter w;
+    w.beginObject().field("ok", true).field("session", session->id)
+        .endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdStep(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    const std::uint64_t count = req.u64Or("count", 1);
+    if (count < 1 || count > config_.maxStepCount)
+        fatal(cat("step: count must be 1..", config_.maxStepCount,
+                  ", got ", count));
+
+    std::lock_guard lock(session->mutex);
+    requireIdle(*session);
+    sessions_.ensureResident(*session);
+    const auto t0 = Clock::now();
+    std::uint64_t done = 0;
+    while (done < count && !session->target->halted()) {
+        session->target->step();
+        ++done;
+    }
+    session->metrics.execMs += msSince(t0);
+    session->metrics.steps += done;
+    touch(*session);
+
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("steps", done)
+        .field("halted", session->target->halted())
+        .field("pc", session->target->pc())
+        .endObject();
+    return w.str();
+}
+
+void
+Service::cmdRun(const JsonValue &req, ReplyFn &reply)
+{
+    std::shared_ptr<Session> session;
+    try {
+        session = needSession(req);
+        const std::uint64_t maxSteps =
+            req.u64Or("maxSteps", kDefaultRunSteps);
+        if (maxSteps < 1 || maxSteps > config_.maxRunSteps)
+            fatal(cat("run: maxSteps must be 1..", config_.maxRunSteps,
+                      ", got ", maxSteps));
+
+        std::lock_guard lock(session->mutex);
+        requireIdle(*session);
+        {
+            std::lock_guard sched(schedMutex_);
+            if (stopping_.load(std::memory_order_relaxed))
+                fatal("server shutting down");
+            if (config_.maxPendingRuns != 0 &&
+                pendingRuns_ >= config_.maxPendingRuns)
+                fatal(cat("server overloaded: ", pendingRuns_,
+                          " runs pending (limit ", config_.maxPendingRuns,
+                          "); retry after a run completes"));
+            ++pendingRuns_;
+        }
+        touch(*session);
+        session->runActive = true;
+        session->run.remaining = maxSteps;
+        session->run.executed = 0;
+        session->run.reply = std::move(reply);
+    } catch (const std::exception &e) {
+        reply(errorPayload(e.what()));
+        return;
+    }
+    {
+        std::lock_guard sched(schedMutex_);
+        ready_.push_back(std::move(session));
+    }
+    pump();
+}
+
+std::string
+Service::cmdPeek(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    const JsonValue *addrValue = req.find("addr");
+    if (!addrValue)
+        fatal("peek: request missing 'addr'");
+    const std::uint64_t addr = addrValue->asU64();
+    const std::uint64_t count = req.u64Or("count", 1);
+    if (count < 1 || count > kMaxPeekWords)
+        fatal(cat("peek: count must be 1..", kMaxPeekWords, ", got ",
+                  count));
+    if (addr > 0xffffffffu || addr + count * 4 - 1 > 0xffffffffu)
+        fatal(cat("peek: address range out of 32-bit space"));
+
+    std::lock_guard lock(session->mutex);
+    requireAlive(*session);
+    sessions_.ensureResident(*session);
+    touch(*session);
+
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("addr", addr).key("words").beginArray();
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.value(session->target->peekWord(
+            static_cast<std::uint32_t>(addr + i * 4)));
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdRegs(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    std::lock_guard lock(session->mutex);
+    requireAlive(*session);
+    sessions_.ensureResident(*session);
+    touch(*session);
+
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("pc", session->target->pc())
+        .field("halted", session->target->halted());
+    w.key("regs").beginArray();
+    const unsigned n = session->target->numRegs();
+    for (unsigned r = 0; r < n; ++r)
+        w.value(session->target->readReg(r));
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdStats(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    std::lock_guard lock(session->mutex);
+    requireAlive(*session);
+    sessions_.ensureResident(*session);
+    touch(*session);
+
+    const auto stats = session->target->stats();
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("halted", session->target->halted())
+        .field("checksum", session->target->checksum());
+    w.key("result").beginObject();
+    stats->writeJson(w);
+    w.endObject();
+    w.key("metrics");
+    session->metrics.writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdSnapshot(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    std::lock_guard lock(session->mutex);
+    requireIdle(*session);
+    sessions_.ensureResident(*session);
+    touch(*session);
+    const std::string id = sessions_.storeSnapshot(
+        StoredSnapshot{session->target->snapshot(), session->cfg});
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("snapshot", id).endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdFork(const JsonValue &req)
+{
+    const std::string snapId = req.stringOr("snapshot", "");
+    const std::string srcId = req.stringOr("session", "");
+    if (snapId.empty() == srcId.empty())
+        fatal("fork needs exactly one of 'session' or 'snapshot'");
+
+    std::shared_ptr<const target::TargetSnapshot> snap;
+    SessionConfig cfg;
+    if (!snapId.empty()) {
+        const auto stored = sessions_.findSnapshot(snapId);
+        if (!stored)
+            fatal(cat("unknown snapshot '", snapId, "'"));
+        snap = stored->snap;
+        cfg = stored->cfg;
+    } else {
+        const auto src = needSession(req);
+        std::lock_guard lock(src->mutex);
+        requireIdle(*src);
+        sessions_.ensureResident(*src);
+        touch(*src);
+        snap = src->target->snapshot();
+        cfg = src->cfg;
+    }
+
+    auto target = target::makeTarget(cfg.backend, cfg.options);
+    target->restore(*snap);
+    const auto session = sessions_.create(std::move(cfg));
+    {
+        std::lock_guard lock(session->mutex);
+        session->target = std::move(target);
+        touch(*session);
+    }
+    JsonWriter w;
+    okHeader(*session, w);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdEvict(const JsonValue &req)
+{
+    const auto session = needSession(req);
+    std::lock_guard lock(session->mutex);
+    requireIdle(*session);
+    ++session->metrics.commands; // deliberately no lastActive touch
+    sessions_.evict(*session);
+    JsonWriter w;
+    okHeader(*session, w);
+    w.field("resident", false).endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdDrop(const JsonValue &req)
+{
+    const std::string id = req.stringOr("snapshot", "");
+    if (id.empty())
+        fatal("drop: request missing 'snapshot'");
+    if (!sessions_.dropSnapshot(id))
+        fatal(cat("unknown snapshot '", id, "'"));
+    JsonWriter w;
+    w.beginObject().field("ok", true).field("snapshot", id).endObject();
+    return w.str();
+}
+
+std::shared_ptr<Session>
+Service::needSession(const JsonValue &req) const
+{
+    const std::string id = req.stringOr("session", "");
+    if (id.empty())
+        fatal("request missing 'session'");
+    auto session = sessions_.find(id);
+    if (!session)
+        fatal(cat("unknown session '", id, "'"));
+    return session;
+}
+
+void
+Service::pump()
+{
+    std::lock_guard sched(schedMutex_);
+    while (!stopping_.load(std::memory_order_relaxed) && !ready_.empty()) {
+        std::shared_ptr<Session> session = ready_.front();
+        if (!engine_.trySubmit(
+                [this, session] { runTurn(session); }))
+            break; // engine full; retried as in-flight turns retire
+        ready_.pop_front();
+        ++inFlight_;
+    }
+}
+
+void
+Service::runTurn(const std::shared_ptr<Session> &session)
+{
+    ReplyFn reply;
+    std::string payload;
+    bool requeue = false;
+    {
+        std::lock_guard lock(session->mutex);
+        if (!session->runActive) {
+            // stop() already drained this run; nothing to do.
+        } else if (stopping_.load(std::memory_order_acquire)) {
+            payload = errorPayload("server shutting down");
+            reply = std::move(session->run.reply);
+            session->runActive = false;
+        } else {
+            try {
+                sessions_.ensureResident(*session);
+                const std::uint64_t quota =
+                    std::min(config_.quota, session->run.remaining);
+                const auto t0 = Clock::now();
+                const RunOutcome out =
+                    session->target->run(quota, session->cfg.fast);
+                session->metrics.execMs += msSince(t0);
+                ++session->metrics.turns;
+                session->metrics.steps += out.steps;
+                session->run.executed += out.steps;
+                session->run.remaining -=
+                    std::min(out.steps, session->run.remaining);
+                session->lastActive = Clock::now();
+                if (out.halted || session->run.remaining == 0) {
+                    JsonWriter w;
+                    okHeader(*session, w);
+                    w.field("steps", session->run.executed)
+                        .field("halted", out.halted)
+                        .field("status",
+                               out.halted ? "halted" : "stepLimit")
+                        .field("pc", session->target->pc())
+                        .field("checksum", session->target->checksum())
+                        .endObject();
+                    payload = w.str();
+                    reply = std::move(session->run.reply);
+                    session->runActive = false;
+                } else {
+                    requeue = true;
+                }
+            } catch (const std::exception &e) {
+                payload = errorPayload(e.what());
+                reply = std::move(session->run.reply);
+                session->runActive = false;
+            }
+        }
+    }
+
+    if (requeue) {
+        bool drained = false;
+        {
+            std::lock_guard sched(schedMutex_);
+            if (stopping_.load(std::memory_order_relaxed))
+                drained = true; // stop() already swept the ready queue
+            else
+                ready_.push_back(session);
+        }
+        if (drained) {
+            std::lock_guard lock(session->mutex);
+            if (session->runActive) {
+                payload = errorPayload("server shutting down");
+                reply = std::move(session->run.reply);
+                session->runActive = false;
+            }
+        }
+    }
+
+    if (reply)
+        reply(std::move(payload));
+
+    {
+        std::lock_guard sched(schedMutex_);
+        --inFlight_;
+        if (reply && pendingRuns_ > 0)
+            --pendingRuns_;
+    }
+    pump();
+}
+
+void
+Service::failRun(const std::shared_ptr<Session> &session,
+                 std::string_view message)
+{
+    ReplyFn reply;
+    {
+        std::lock_guard lock(session->mutex);
+        if (!session->runActive)
+            return;
+        reply = std::move(session->run.reply);
+        session->runActive = false;
+    }
+    if (reply)
+        reply(errorPayload(message));
+    std::lock_guard sched(schedMutex_);
+    if (pendingRuns_ > 0)
+        --pendingRuns_;
+}
+
+void
+Service::stop()
+{
+    std::deque<std::shared_ptr<Session>> drain;
+    {
+        std::lock_guard sched(schedMutex_);
+        if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+            // Another stop() is (or was) in flight; fall through to
+            // the joins, which are themselves idempotent.
+        }
+        drain.swap(ready_);
+    }
+
+    // Runs still queued outside the engine never got a turn: fail them
+    // here.  Runs already inside the engine are failed by their own
+    // turn, which observes stopping_ (the engine runs every queued
+    // task to completion before stop() returns).
+    for (const auto &session : drain)
+        failRun(session, "server shutting down");
+
+    engine_.stop();
+
+    {
+        std::lock_guard lk(sweepMutex_);
+        sweepStop_ = true;
+    }
+    sweepCv_.notify_all();
+    if (sweeper_.joinable())
+        sweeper_.join();
+}
+
+void
+Service::sweepNow()
+{
+    if (config_.ttlMs < 0)
+        return;
+    sweepOnce();
+}
+
+void
+Service::sweepLoop()
+{
+    using namespace std::chrono_literals;
+    const auto interval = [this]() -> std::chrono::milliseconds {
+        if (config_.ttlMs <= 0)
+            return 25ms;
+        return std::clamp(std::chrono::milliseconds(config_.ttlMs / 4),
+                          std::chrono::milliseconds(25),
+                          std::chrono::milliseconds(2000));
+    }();
+
+    std::unique_lock lk(sweepMutex_);
+    while (!sweepStop_) {
+        if (config_.ttlMs < 0) {
+            sweepCv_.wait(lk, [this] { return sweepStop_; });
+            break;
+        }
+        sweepCv_.wait_for(lk, interval, [this] { return sweepStop_; });
+        if (sweepStop_)
+            break;
+        lk.unlock();
+        sweepOnce();
+        lk.lock();
+    }
+}
+
+void
+Service::sweepOnce()
+{
+    const auto ttl = std::chrono::milliseconds(config_.ttlMs);
+    const auto now = Clock::now();
+    for (const auto &session : sessions_.all()) {
+        std::unique_lock lock(session->mutex, std::try_to_lock);
+        if (!lock.owns_lock())
+            continue; // busy right now; the next sweep catches it
+        if (session->destroyed || session->runActive || !session->target)
+            continue;
+        if (now - session->lastActive < ttl)
+            continue;
+        try {
+            sessions_.evict(*session);
+        } catch (const std::exception &e) {
+            warn(cat("eviction sweep: session ", session->id, ": ",
+                     e.what()));
+        }
+    }
+}
+
+} // namespace risc1::server

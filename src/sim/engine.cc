@@ -24,6 +24,8 @@ jobStatusName(JobStatus status)
         return "stepLimit";
       case JobStatus::Error:
         return "error";
+      case JobStatus::Canceled:
+        return "canceled";
     }
     return "unknown";
 }
@@ -69,6 +71,125 @@ resolveWorkers(const BatchOptions &options)
         return options.workers;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 1;
+}
+
+Engine::Engine(unsigned workers, std::size_t maxQueue)
+    : maxQueue_(maxQueue != 0 ? maxQueue : 1)
+{
+    unsigned n = workers;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw != 0 ? hw : 1;
+    }
+    workerCount_ = n;
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back(&Engine::workerLoop, this);
+}
+
+Engine::~Engine()
+{
+    stop();
+}
+
+bool
+Engine::trySubmit(Task task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_ || tasks_.size() >= maxQueue_)
+            return false;
+        tasks_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+    return true;
+}
+
+void
+Engine::submit(Task task)
+{
+    {
+        std::unique_lock lock(mutex_);
+        spaceFree_.wait(lock, [this] {
+            return stopping_ || tasks_.size() < maxQueue_;
+        });
+        if (stopping_)
+            fatal("Engine: submit after stop");
+        tasks_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+std::size_t
+Engine::queueDepth() const
+{
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+}
+
+std::size_t
+Engine::activeTasks() const
+{
+    std::lock_guard lock(mutex_);
+    return active_;
+}
+
+void
+Engine::drain()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void
+Engine::stop()
+{
+    // Claim the threads under the lock so concurrent stop() calls
+    // cannot join the same thread twice.
+    std::vector<std::thread> toJoin;
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+        toJoin.swap(threads_);
+    }
+    taskReady_.notify_all();
+    spaceFree_.notify_all();
+    for (auto &t : toJoin)
+        t.join();
+}
+
+void
+Engine::workerLoop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock lock(mutex_);
+            taskReady_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++active_;
+        }
+        spaceFree_.notify_one();
+        try {
+            task();
+        } catch (const std::exception &e) {
+            // A task must capture its own failures (the server replies
+            // with an error frame); anything reaching here is a bug,
+            // but a resident daemon must not die for it.
+            warn(cat("Engine: task threw: ", e.what()));
+        }
+        {
+            std::lock_guard lock(mutex_);
+            --active_;
+            if (tasks_.empty() && active_ == 0)
+                idle_.notify_all();
+        }
+    }
 }
 
 namespace {
@@ -223,6 +344,20 @@ runBatchReport(const std::vector<SimJob> &jobs, const BatchOptions &options)
 
             const double cpu0 = threadCpuMs();
             auto &res = report.results[index];
+            if (options.cancel &&
+                options.cancel->load(std::memory_order_relaxed)) {
+                // Drain without running: the batch was interrupted, so
+                // every not-yet-started job reports Canceled while the
+                // jobs already on workers finish normally.
+                res.index = index;
+                res.id = jobs[index].id;
+                res.backend = jobs[index].backend;
+                res.status = JobStatus::Canceled;
+                res.error = "canceled before start (batch interrupted)";
+                if (!res.stats)
+                    res.stats = target::emptyStats(res.backend);
+                continue;
+            }
             res = runJob(jobs[index], index);
             const auto done = clock::now();
 

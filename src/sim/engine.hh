@@ -16,10 +16,13 @@
 #ifndef RISC1_SIM_ENGINE_HH
 #define RISC1_SIM_ENGINE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sim/job.hh"
@@ -31,6 +34,17 @@ struct BatchOptions
 {
     /** Worker threads; 0 = hardware concurrency (at least 1). */
     unsigned workers = 0;
+
+    /**
+     * Cooperative cancellation (non-owning; nullptr = never cancel).
+     * Once it reads true, queued jobs are drained without running —
+     * each gets JobStatus::Canceled — while already-running jobs
+     * finish normally, so the batch still returns one result per job
+     * and the caller can render a complete artifact.  This is how
+     * riscbatch turns SIGINT/SIGTERM into a graceful drain instead of
+     * dying mid-write.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -69,6 +83,85 @@ class JobQueue
  * to fill in the result's postmortem (see SimJob::postmortem).
  */
 SimResult runJob(const SimJob &job, std::size_t index);
+
+/**
+ * A resident worker pool for long-lived services: the thread pool
+ * riscserved multiplexes its sessions onto (docs/SERVER.md).
+ *
+ * Where runBatch() is a run-to-completion primitive over a finite job
+ * vector, Engine accepts arbitrary tasks forever and bounds its queue
+ * so producers can apply backpressure instead of queueing without
+ * limit: trySubmit() refuses (returns false) when the queue is at
+ * capacity, and queueDepth() lets callers shed or defer load before
+ * even trying.  Tasks run FIFO, which is what gives the server's
+ * quota-sliced run turns their round-robin fairness — a requeued turn
+ * goes to the tail, behind every other session's pending turn.
+ */
+class Engine
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p workers resident threads (0 = hardware concurrency)
+     * over a queue of at most @p maxQueue pending tasks.
+     */
+    explicit Engine(unsigned workers = 0, std::size_t maxQueue = 1024);
+
+    /** stop()s and joins. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Enqueue @p task unless the queue is full or the engine is
+     * stopping.  @return false (without blocking) when refused — the
+     * backpressure signal.
+     */
+    bool trySubmit(Task task);
+
+    /**
+     * Enqueue @p task, blocking while the queue is full.
+     * @throws FatalError once the engine is stopping.
+     */
+    void submit(Task task);
+
+    /** Tasks queued but not yet picked up by a worker. */
+    std::size_t queueDepth() const;
+
+    /** Tasks currently executing on workers. */
+    std::size_t activeTasks() const;
+
+    /** Queue capacity (the trySubmit refusal threshold). */
+    std::size_t capacity() const { return maxQueue_; }
+
+    /** Resident worker threads (as constructed; stable across stop). */
+    unsigned workers() const { return workerCount_; }
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+    /**
+     * Graceful shutdown: refuse new tasks, run everything already
+     * queued to completion, then join the workers.  Idempotent.
+     */
+    void stop();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable taskReady_;  ///< queue non-empty or stopping
+    std::condition_variable spaceFree_;  ///< queue below capacity
+    std::condition_variable idle_;       ///< queue empty and no active task
+    std::deque<Task> tasks_;
+    std::size_t maxQueue_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    unsigned workerCount_ = 0;
+    std::vector<std::thread> threads_;
+};
 
 /**
  * A batch's results plus the engine metrics observed while producing

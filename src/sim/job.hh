@@ -94,9 +94,10 @@ enum class JobStatus : std::uint8_t
     Ok,        ///< program halted (and matched `expected`, if set)
     StepLimit, ///< still running at maxSteps
     Error,     ///< assembler/simulator fault or checksum mismatch
+    Canceled,  ///< drained unrun after BatchOptions::cancel fired
 };
 
-/** @return "ok" / "stepLimit" / "error". */
+/** @return "ok" / "stepLimit" / "error" / "canceled". */
 std::string_view jobStatusName(JobStatus status);
 
 /** Everything collected from one finished (or failed) job. */

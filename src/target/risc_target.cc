@@ -55,6 +55,15 @@ RiscTarget::stats() const
     return stats;
 }
 
+std::uint32_t
+RiscTarget::readReg(unsigned r) const
+{
+    if (r >= numRegs())
+        fatal(cat("readReg: r", r, " out of range (risc has ", numRegs(),
+                  " visible registers)"));
+    return machine_.reg(r);
+}
+
 std::shared_ptr<const TargetSnapshot>
 RiscTarget::snapshot() const
 {

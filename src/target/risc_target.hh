@@ -46,6 +46,13 @@ class RiscTarget final : public Target
         machine_.setTrace(trace);
     }
     std::uint32_t checksum() const override { return machine_.reg(1); }
+    unsigned numRegs() const override { return 32; }
+    std::uint32_t readReg(unsigned r) const override;
+    std::uint32_t pc() const override { return machine_.pc(); }
+    std::uint32_t peekWord(std::uint32_t addr) const override
+    {
+        return machine_.memory().peekWord(addr);
+    }
     std::shared_ptr<const TargetStats> stats() const override;
     MemoryStats memStats() const override
     {

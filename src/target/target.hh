@@ -186,6 +186,26 @@ class Target
      *  baseline: r0). */
     virtual std::uint32_t checksum() const = 0;
 
+    /**
+     * Visible (window-relative) register count — the debug view the
+     * riscserved `regs` command exposes (RISC I: 32, baseline: 16).
+     */
+    virtual unsigned numRegs() const = 0;
+
+    /** Read visible register @p r.  @throws FatalError out of range. */
+    virtual std::uint32_t readReg(unsigned r) const = 0;
+
+    /** Current program counter (debug view). */
+    virtual std::uint32_t pc() const = 0;
+
+    /**
+     * Uncounted debug read of the aligned word at @p addr (the
+     * riscserved `peek` command) — never disturbs statistics or
+     * caches.  @throws FatalError on a misaligned or out-of-range
+     * address.
+     */
+    virtual std::uint32_t peekWord(std::uint32_t addr) const = 0;
+
     /** Current run statistics (a copy; safe past the Target). */
     virtual std::shared_ptr<const TargetStats> stats() const = 0;
 

@@ -57,6 +57,15 @@ VaxTarget::stats() const
     return stats;
 }
 
+std::uint32_t
+VaxTarget::readReg(unsigned r) const
+{
+    if (r >= numRegs())
+        fatal(cat("readReg: r", r, " out of range (vax has ", numRegs(),
+                  " visible registers)"));
+    return machine_.reg(r);
+}
+
 std::shared_ptr<const TargetSnapshot>
 VaxTarget::snapshot() const
 {

@@ -1,0 +1,580 @@
+/**
+ * Service-level protocol tests (server/protocol.hh): session
+ * lifecycle, quota-sliced runs, TTL eviction with bit-identical
+ * restore, fork/snapshot semantics, backpressure, and shutdown
+ * draining — all without sockets (the Service is transport-free by
+ * design; server/server.cc only moves bytes).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/json_value.hh"
+#include "server/protocol.hh"
+#include "target/registry.hh"
+#include "target/risc_target.hh"
+#include "target/vax_target.hh"
+#include "workloads/workloads.hh"
+
+using namespace risc1;
+using namespace risc1::server;
+
+namespace {
+
+/** Synchronous driver: execute a command and wait for its reply. */
+class Driver
+{
+  public:
+    explicit Driver(Service &service) : service_(service) {}
+
+    JsonValue
+    call(const std::string &request)
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        std::string payload;
+        service_.execute(request, [&](std::string p) {
+            std::lock_guard lock(m);
+            payload = std::move(p);
+            done = true;
+            cv.notify_one();
+        });
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return done; });
+        return parseJson(payload);
+    }
+
+    /** call(), demanding success. */
+    JsonValue
+    ok(const std::string &request)
+    {
+        JsonValue v = call(request);
+        EXPECT_TRUE(v.boolOr("ok", false))
+            << request << " -> " << v.stringOr("error", "?");
+        return v;
+    }
+
+    /** call(), demanding failure; returns the error message. */
+    std::string
+    err(const std::string &request)
+    {
+        JsonValue v = call(request);
+        EXPECT_FALSE(v.boolOr("ok", true)) << request;
+        return v.stringOr("error", "");
+    }
+
+  private:
+    Service &service_;
+};
+
+ServiceConfig
+testConfig(const std::string &tag)
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.engineQueue = 8;
+    cfg.quota = 1000;
+    cfg.spoolDir = "server_test_spool_" + tag;
+    cfg.maxSessions = 64;
+    return cfg;
+}
+
+std::string
+createReq(const char *backend)
+{
+    return std::string("{\"cmd\":\"create\",\"backend\":\"") + backend +
+           "\",\"workload\":\"fib_rec\"}";
+}
+
+void
+cleanupSpool(const ServiceConfig &cfg)
+{
+    std::error_code ec;
+    std::filesystem::remove_all(cfg.spoolDir, ec);
+}
+
+} // namespace
+
+TEST(ServerSession, CreateRunDestroy)
+{
+    const auto cfg = testConfig("crd");
+    {
+        Service service(cfg);
+        Driver d(service);
+
+        const JsonValue created = d.ok(createReq("risc"));
+        const std::string id = created.stringOr("session", "");
+        ASSERT_FALSE(id.empty());
+        EXPECT_GT(created.u64Or("codeBytes", 0), 0u);
+
+        const JsonValue run = d.ok("{\"cmd\":\"run\",\"session\":\"" +
+                                   id + "\",\"maxSteps\":100000000}");
+        EXPECT_TRUE(run.boolOr("halted", false));
+        EXPECT_EQ(run.stringOr("status", ""), "halted");
+        EXPECT_GT(run.u64Or("steps", 0), cfg.quota)
+            << "fib_rec should need several quota turns";
+
+        d.ok("{\"cmd\":\"destroy\",\"session\":\"" + id + "\"}");
+        const std::string msg =
+            d.err("{\"cmd\":\"regs\",\"session\":\"" + id + "\"}");
+        EXPECT_NE(msg.find("unknown session"), std::string::npos);
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, RunMatchesSingleShotExecution)
+{
+    // Quota slicing must not change the program's result: the sliced
+    // daemon run and a plain Target run retire the same step count
+    // and checksum on both backends.
+    const auto cfg = testConfig("match");
+    {
+        Service service(cfg);
+        Driver d(service);
+        for (const char *backend : {"risc", "vax"}) {
+            const std::string id =
+                d.ok(createReq(backend)).stringOr("session", "");
+            const JsonValue run =
+                d.ok("{\"cmd\":\"run\",\"session\":\"" + id +
+                     "\",\"maxSteps\":100000000}");
+
+            auto ref = target::makeTarget(backend,
+                                          target::TargetOptions{});
+            ref->load(target::workloadSource(
+                backend, findWorkload("fib_rec")));
+            const RunOutcome out = ref->run(100'000'000, true);
+
+            EXPECT_EQ(run.u64Or("steps", 0), out.steps) << backend;
+            EXPECT_EQ(run.u64Or("checksum", 0), ref->checksum())
+                << backend;
+        }
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, StepPeekRegsStats)
+{
+    const auto cfg = testConfig("sprs");
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+
+        const JsonValue step = d.ok("{\"cmd\":\"step\",\"session\":\"" +
+                                    id + "\",\"count\":25}");
+        EXPECT_EQ(step.u64Or("steps", 0), 25u);
+
+        const JsonValue regs =
+            d.ok("{\"cmd\":\"regs\",\"session\":\"" + id + "\"}");
+        EXPECT_EQ(regs.find("regs")->items().size(), 32u);
+
+        const JsonValue peek = d.ok("{\"cmd\":\"peek\",\"session\":\"" +
+                                    id + "\",\"addr\":0,\"count\":4}");
+        EXPECT_EQ(peek.find("words")->items().size(), 4u);
+
+        const JsonValue stats =
+            d.ok("{\"cmd\":\"stats\",\"session\":\"" + id + "\"}");
+        EXPECT_EQ(
+            stats.find("result")->find("stats")->u64Or("instructions", 0),
+            25u);
+        EXPECT_GE(stats.find("metrics")->u64Or("commands", 0), 2u);
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, EvictedSessionIsBitIdenticalToTwin)
+{
+    // The acceptance test for transparent eviction: run a session and
+    // an identical twin partway, force-evict one (snapshot → spool →
+    // drop the Target), then compare *every* field of the two machine
+    // states after the transparent restore — and their final results.
+    for (const char *backend : {"risc", "vax"}) {
+        const auto cfg = testConfig(std::string("evict_") + backend);
+        {
+            Service service(cfg);
+            Driver d(service);
+            const std::string a =
+                d.ok(createReq(backend)).stringOr("session", "");
+            const std::string b =
+                d.ok(createReq(backend)).stringOr("session", "");
+
+            for (const auto &id : {a, b})
+                d.ok("{\"cmd\":\"step\",\"session\":\"" + id +
+                     "\",\"count\":1234}");
+
+            // Force-evict a; leave b resident.
+            d.ok("{\"cmd\":\"evict\",\"session\":\"" + a + "\"}");
+            EXPECT_EQ(service.sessions().counts().evicted, 1u);
+            EXPECT_TRUE(std::filesystem::exists(
+                std::filesystem::path(cfg.spoolDir) / (a + ".snap")));
+
+            // Any command transparently restores; use regs, then
+            // compare the full snapshots underneath.
+            d.ok("{\"cmd\":\"regs\",\"session\":\"" + a + "\"}");
+            EXPECT_EQ(service.sessions().counts().evicted, 0u);
+            EXPECT_EQ(service.sessions().counts().restores, 1u);
+
+            const auto sa = service.sessions().find(a);
+            const auto sb = service.sessions().find(b);
+            ASSERT_TRUE(sa && sb);
+            const auto snapA = sa->target->snapshot();
+            const auto snapB = sb->target->snapshot();
+            if (std::string(backend) == "risc") {
+                const auto &ra =
+                    dynamic_cast<const target::RiscTargetSnapshot &>(
+                        *snapA);
+                const auto &rb =
+                    dynamic_cast<const target::RiscTargetSnapshot &>(
+                        *snapB);
+                EXPECT_TRUE(ra.machineSnapshot() == rb.machineSnapshot())
+                    << "restored state diverged from unevicted twin";
+            } else {
+                const auto &va =
+                    dynamic_cast<const target::VaxTargetSnapshot &>(
+                        *snapA);
+                const auto &vb =
+                    dynamic_cast<const target::VaxTargetSnapshot &>(
+                        *snapB);
+                EXPECT_TRUE(va.machineSnapshot() == vb.machineSnapshot())
+                    << "restored state diverged from unevicted twin";
+            }
+
+            // And both finish with identical results.
+            const JsonValue ra = d.ok("{\"cmd\":\"run\",\"session\":\"" +
+                                      a + "\",\"maxSteps\":100000000}");
+            const JsonValue rb = d.ok("{\"cmd\":\"run\",\"session\":\"" +
+                                      b + "\",\"maxSteps\":100000000}");
+            EXPECT_EQ(ra.u64Or("steps", 1), rb.u64Or("steps", 2));
+            EXPECT_EQ(ra.u64Or("checksum", 1), rb.u64Or("checksum", 2));
+        }
+        cleanupSpool(cfg);
+    }
+}
+
+TEST(ServerSession, TtlZeroEvictsOnSweep)
+{
+    auto cfg = testConfig("ttl");
+    cfg.ttlMs = 0; // evict as soon as a sweep sees an idle session
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+        d.ok("{\"cmd\":\"step\",\"session\":\"" + id +
+             "\",\"count\":100}");
+
+        service.sweepNow();
+        EXPECT_EQ(service.sessions().counts().evicted, 1u);
+        EXPECT_EQ(service.sessions().counts().resident, 0u);
+
+        // The next command transparently restores and still works.
+        const JsonValue run = d.ok("{\"cmd\":\"run\",\"session\":\"" +
+                                   id + "\",\"maxSteps\":100000000}");
+        EXPECT_TRUE(run.boolOr("halted", false));
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, SnapshotForkAndDrop)
+{
+    const auto cfg = testConfig("fork");
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+        d.ok("{\"cmd\":\"step\",\"session\":\"" + id +
+             "\",\"count\":500}");
+
+        const std::string snap =
+            d.ok("{\"cmd\":\"snapshot\",\"session\":\"" + id + "\"}")
+                .stringOr("snapshot", "");
+        ASSERT_FALSE(snap.empty());
+
+        // Fork from the stored snapshot and from the live session;
+        // all three must finish identically.
+        const std::string f1 =
+            d.ok("{\"cmd\":\"fork\",\"snapshot\":\"" + snap + "\"}")
+                .stringOr("session", "");
+        const std::string f2 =
+            d.ok("{\"cmd\":\"fork\",\"session\":\"" + id + "\"}")
+                .stringOr("session", "");
+
+        std::uint64_t checksum = 0;
+        bool first = true;
+        for (const auto &s : {id, f1, f2}) {
+            const JsonValue run = d.ok("{\"cmd\":\"run\",\"session\":\"" +
+                                       s + "\",\"maxSteps\":100000000}");
+            if (first) {
+                checksum = run.u64Or("checksum", 0);
+                first = false;
+            } else {
+                EXPECT_EQ(run.u64Or("checksum", 1), checksum);
+            }
+        }
+
+        d.ok("{\"cmd\":\"drop\",\"snapshot\":\"" + snap + "\"}");
+        EXPECT_NE(d.err("{\"cmd\":\"fork\",\"snapshot\":\"" + snap +
+                        "\"}")
+                      .find("unknown snapshot"),
+                  std::string::npos);
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, ConcurrentRunsAreFairAndIsolated)
+{
+    // Many sessions, two workers: every run completes with the right
+    // checksum even though turns interleave round-robin.
+    const auto cfg = testConfig("fair");
+    {
+        Service service(cfg);
+        Driver d(service);
+        constexpr int kSessions = 12;
+
+        std::vector<std::string> ids;
+        for (int i = 0; i < kSessions; ++i)
+            ids.push_back(d.ok(createReq(i % 2 == 0 ? "risc" : "vax"))
+                              .stringOr("session", ""));
+
+        // Fire all runs without waiting, then collect.
+        std::mutex m;
+        std::condition_variable cv;
+        int done = 0;
+        std::vector<JsonValue> results(ids.size());
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            service.execute("{\"cmd\":\"run\",\"session\":\"" + ids[i] +
+                                "\",\"maxSteps\":100000000}",
+                            [&, i](std::string payload) {
+                                std::lock_guard lock(m);
+                                results[i] = parseJson(payload);
+                                ++done;
+                                cv.notify_one();
+                            });
+        {
+            std::unique_lock lock(m);
+            cv.wait(lock, [&] { return done == int(ids.size()); });
+        }
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_TRUE(results[i].boolOr("ok", false)) << i;
+            EXPECT_TRUE(results[i].boolOr("halted", false)) << i;
+        }
+        // Checksums agree per backend.
+        EXPECT_EQ(results[0].u64Or("checksum", 1),
+                  results[2].u64Or("checksum", 2));
+        EXPECT_EQ(results[1].u64Or("checksum", 1),
+                  results[3].u64Or("checksum", 2));
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, MutationsRefusedDuringRun)
+{
+    auto cfg = testConfig("busy");
+    cfg.workers = 1;
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+
+        // Park the single worker on a latch so the run stays pending —
+        // runActive is set synchronously when the run is accepted, so
+        // the refusals below are deterministic, not a race against the
+        // run finishing first.
+        std::mutex latchM;
+        std::condition_variable latchCv;
+        bool release = false;
+        service.engine().submit([&] {
+            std::unique_lock lock(latchM);
+            latchCv.wait(lock, [&] { return release; });
+        });
+
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        service.execute("{\"cmd\":\"run\",\"session\":\"" + id +
+                            "\",\"maxSteps\":100000000}",
+                        [&](std::string) {
+                            std::lock_guard lock(m);
+                            done = true;
+                            cv.notify_one();
+                        });
+
+        // While the run is active, a second run and mutating commands
+        // are refused; destroy too.
+        const std::string msg = d.err("{\"cmd\":\"run\",\"session\":\"" +
+                                      id + "\"}");
+        EXPECT_NE(msg.find("run in progress"), std::string::npos);
+        d.err("{\"cmd\":\"step\",\"session\":\"" + id +
+              "\",\"count\":1}");
+        d.err("{\"cmd\":\"destroy\",\"session\":\"" + id + "\"}");
+        d.err("{\"cmd\":\"evict\",\"session\":\"" + id + "\"}");
+
+        {
+            std::lock_guard lock(latchM);
+            release = true;
+        }
+        latchCv.notify_all();
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return done; });
+        d.ok("{\"cmd\":\"destroy\",\"session\":\"" + id + "\"}");
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, BackpressureRefusesExcessRuns)
+{
+    auto cfg = testConfig("bp");
+    cfg.maxPendingRuns = 2;
+    cfg.quota = 100;
+    cfg.workers = 1;
+    {
+        Service service(cfg);
+        Driver d(service);
+        std::vector<std::string> ids;
+        for (int i = 0; i < 3; ++i)
+            ids.push_back(
+                d.ok(createReq("risc")).stringOr("session", ""));
+
+        // Park the worker so both accepted runs stay pending and the
+        // third refusal is deterministic (see MutationsRefusedDuringRun).
+        std::mutex latchM;
+        std::condition_variable latchCv;
+        bool release = false;
+        service.engine().submit([&] {
+            std::unique_lock lock(latchM);
+            latchCv.wait(lock, [&] { return release; });
+        });
+
+        std::mutex m;
+        std::condition_variable cv;
+        int done = 0;
+        for (int i = 0; i < 2; ++i)
+            service.execute("{\"cmd\":\"run\",\"session\":\"" + ids[i] +
+                                "\",\"maxSteps\":100000000}",
+                            [&](std::string) {
+                                std::lock_guard lock(m);
+                                ++done;
+                                cv.notify_one();
+                            });
+        const std::string msg = d.err("{\"cmd\":\"run\",\"session\":\"" +
+                                      ids[2] + "\"}");
+        EXPECT_NE(msg.find("overloaded"), std::string::npos);
+
+        {
+            std::lock_guard lock(latchM);
+            release = true;
+        }
+        latchCv.notify_all();
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return done == 2; });
+        // Capacity freed: the refused session can run now.
+        lock.unlock();
+        d.ok("{\"cmd\":\"run\",\"session\":\"" + ids[2] +
+             "\",\"maxSteps\":100000000}");
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, BadRequestsAreErrorsNotCrashes)
+{
+    const auto cfg = testConfig("bad");
+    {
+        Service service(cfg);
+        Driver d(service);
+        EXPECT_NE(d.err("not json at all").find("byte"),
+                  std::string::npos);
+        d.err("[1,2,3]");
+        d.err("{}");
+        EXPECT_NE(d.err("{\"cmd\":\"frobnicate\"}")
+                      .find("unknown command"),
+                  std::string::npos);
+        d.err("{\"cmd\":\"step\"}");
+        d.err("{\"cmd\":\"step\",\"session\":\"s999\"}");
+        d.err("{\"cmd\":\"create\",\"backend\":\"pdp11\","
+              "\"workload\":\"fib_rec\"}");
+        d.err("{\"cmd\":\"create\",\"workload\":\"no_such\"}");
+        d.err("{\"cmd\":\"create\"}"); // neither workload nor source
+        d.err("{\"cmd\":\"create\",\"workload\":\"fib_rec\","
+              "\"mem\":12345}"); // unaligned
+        d.err("{\"cmd\":\"create\",\"workload\":\"fib_rec\","
+              "\"source\":\"halt\"}"); // both
+
+        // Inline source works, and bad asm is a clean error.
+        const JsonValue v = d.ok(
+            "{\"cmd\":\"create\",\"source\":\"start: add r0, r0, r1\\n"
+            "halt\\n\"}");
+        EXPECT_FALSE(v.stringOr("session", "").empty());
+        d.err("{\"cmd\":\"create\",\"source\":\"bogus instr\\n\"}");
+
+        // peek bounds.
+        const std::string id = v.stringOr("session", "");
+        d.err("{\"cmd\":\"peek\",\"session\":\"" + id + "\"}");
+        d.err("{\"cmd\":\"peek\",\"session\":\"" + id +
+              "\",\"addr\":3}"); // misaligned
+        d.err("{\"cmd\":\"peek\",\"session\":\"" + id +
+              "\",\"addr\":0,\"count\":100000}");
+        d.err("{\"cmd\":\"peek\",\"session\":\"" + id +
+              "\",\"addr\":4294967292,\"count\":2}");
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, InfoReportsCounts)
+{
+    const auto cfg = testConfig("info");
+    {
+        Service service(cfg);
+        Driver d(service);
+        d.ok(createReq("risc"));
+        d.ok(createReq("vax"));
+        const JsonValue info = d.ok("{\"cmd\":\"info\"}");
+        EXPECT_EQ(info.find("sessions")->u64Or("alive", 0), 2u);
+        EXPECT_EQ(info.find("sessions")->u64Or("resident", 0), 2u);
+        EXPECT_EQ(info.u64Or("workers", 0), 2u);
+        EXPECT_EQ(info.u64Or("protocolVersion", 0), 1u);
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, StopDrainsPendingRuns)
+{
+    auto cfg = testConfig("stop");
+    cfg.workers = 1;
+    cfg.quota = 50; // lots of turns → reliably in flight at stop()
+    {
+        Service service(cfg);
+        Driver d(service);
+        std::vector<std::string> ids;
+        for (int i = 0; i < 4; ++i)
+            ids.push_back(
+                d.ok(createReq("risc")).stringOr("session", ""));
+
+        std::mutex m;
+        std::condition_variable cv;
+        int replies = 0;
+        for (const auto &id : ids)
+            service.execute("{\"cmd\":\"run\",\"session\":\"" + id +
+                                "\",\"maxSteps\":100000000}",
+                            [&](std::string) {
+                                std::lock_guard lock(m);
+                                ++replies;
+                                cv.notify_one();
+                            });
+        service.stop();
+        // Every accepted run must have received exactly one reply
+        // (success or "server shutting down") by the time stop()
+        // returns.
+        std::lock_guard lock(m);
+        EXPECT_EQ(replies, 4);
+    }
+    cleanupSpool(cfg);
+}

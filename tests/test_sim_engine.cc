@@ -1,5 +1,12 @@
 /** Tests for the parallel batch-simulation engine (src/sim/). */
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "asm/assembler.hh"
@@ -331,6 +338,135 @@ TEST(JobFile, RejectsMalformedInput)
                  FatalError);
     EXPECT_THROW(sim::parseJobText("[job]\nworkload = no_such\n"),
                  FatalError);
+}
+
+TEST(Engine, RunsSubmittedTasks)
+{
+    sim::Engine engine(2, 16);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i)
+        engine.submit([&] { ++ran; });
+    engine.drain();
+    EXPECT_EQ(ran.load(), 20);
+    EXPECT_EQ(engine.queueDepth(), 0u);
+    EXPECT_EQ(engine.workers(), 2u);
+}
+
+TEST(Engine, TrySubmitRefusesWhenFull)
+{
+    // One worker, capacity 2.  Block the worker on a latch, fill the
+    // queue, and the next trySubmit must refuse without blocking —
+    // that refusal is the server's backpressure signal.
+    sim::Engine engine(1, 2);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    engine.submit([&] {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return release; });
+    });
+    // The worker may not have dequeued the blocker yet; wait until the
+    // queue drains to it before filling the queue to capacity.
+    while (engine.queueDepth() > 0)
+        std::this_thread::yield();
+
+    EXPECT_TRUE(engine.trySubmit([] {}));
+    EXPECT_TRUE(engine.trySubmit([] {}));
+    EXPECT_EQ(engine.queueDepth(), 2u);
+    EXPECT_FALSE(engine.trySubmit([] {}))
+        << "queue at capacity must refuse, not block";
+
+    {
+        std::lock_guard lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    engine.drain();
+    EXPECT_EQ(engine.queueDepth(), 0u);
+    EXPECT_TRUE(engine.trySubmit([] {})) << "capacity freed after drain";
+    engine.drain();
+}
+
+TEST(Engine, SubmitBlocksUntilSpaceFrees)
+{
+    sim::Engine engine(1, 1);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    engine.submit([&] {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return release; });
+    });
+    while (engine.queueDepth() > 0)
+        std::this_thread::yield();
+    engine.submit([] {}); // fills the queue
+
+    std::atomic<bool> secondQueued{false};
+    std::thread producer([&] {
+        engine.submit([] {}); // must block until the latch opens
+        secondQueued = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(secondQueued.load());
+
+    {
+        std::lock_guard lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    producer.join();
+    EXPECT_TRUE(secondQueued.load());
+    engine.drain();
+}
+
+TEST(Engine, StopRunsEverythingAlreadyQueued)
+{
+    std::atomic<int> ran{0};
+    {
+        sim::Engine engine(1, 64);
+        for (int i = 0; i < 10; ++i)
+            engine.submit([&] { ++ran; });
+        engine.stop();
+        EXPECT_EQ(ran.load(), 10)
+            << "graceful stop must drain the queue, not drop it";
+        EXPECT_FALSE(engine.trySubmit([&] { ++ran; }))
+            << "stopped engine refuses new tasks";
+        EXPECT_THROW(engine.submit([] {}), FatalError);
+        engine.stop(); // idempotent
+    }
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(Engine, TaskExceptionsDoNotKillWorkers)
+{
+    sim::Engine engine(1, 16);
+    std::atomic<int> ran{0};
+    engine.submit([] { throw std::runtime_error("task failure"); });
+    engine.submit([&] { ++ran; });
+    engine.drain();
+    EXPECT_EQ(ran.load(), 1)
+        << "the worker must survive a throwing task";
+}
+
+TEST(SimEngine, CancelDrainsQueuedJobsGracefully)
+{
+    // With cancel pre-set, every job reports Canceled (none started)
+    // and the batch still yields one result per job, in order — the
+    // contract riscbatch's SIGINT/SIGTERM handler relies on.
+    const auto jobs = mixedJobs();
+    std::atomic<bool> cancel{true};
+    sim::BatchOptions options;
+    options.workers = 2;
+    options.cancel = &cancel;
+    const auto results = sim::runBatch(jobs, options);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].status, JobStatus::Canceled);
+        ASSERT_TRUE(results[i].stats) << "schema keeps stats blocks";
+    }
+    const std::string json = sim::resultSetToJson("canceled", results);
+    EXPECT_NE(json.find("\"canceled\""), std::string::npos);
 }
 
 TEST(JobFile, UnknownNamesReportTheValidOptions)
