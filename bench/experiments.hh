@@ -18,6 +18,7 @@ namespace risc1::bench {
 
 int runTableInstructionMix();
 int runTableCodeSize();
+int runTableCodeSizeGenerated();
 int runTableExecutionTime();
 int runTableCallCost();
 int runFigWindowOverflow();
@@ -44,6 +45,10 @@ inline constexpr Experiment kExperiments[] = {
     {"table_code_size",
      "E2: static program size, RISC I vs the CISC baseline",
      runTableCodeSize},
+    {"table_code_size_generated",
+     "E2g: static size over a seeded population of generated RL "
+     "programs",
+     runTableCodeSizeGenerated},
     {"table_execution_time",
      "E3: execution time, RISC I vs the CISC baseline",
      runTableExecutionTime},

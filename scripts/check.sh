@@ -11,7 +11,7 @@
 #
 # ctest runs in labeled stages (see docs/TESTING.md) so a failure names
 # the ring that broke: unit -> property -> differential -> target ->
-# vax -> obs -> mem -> server -> golden -> bench.
+# vax -> obs -> mem -> server -> lang -> golden -> bench.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +34,7 @@ cmake --build "$BUILD" -j
 
 run_stages() {
     dir="$1"
-    for label in unit property differential target vax obs mem server golden bench; do
+    for label in unit property differential target vax obs mem server lang golden bench; do
         echo
         echo "== ctest stage: $label =="
         (cd "$dir" && ctest -L "$label" --output-on-failure -j)
@@ -46,6 +46,21 @@ run_stages() {
 }
 
 run_stages "$BUILD"
+
+# Mass differential (docs/LANG.md): 200 seeded RL programs, both
+# backends x both tiers against the reference interpreter, fanned out
+# on the engine.  The wall-clock budget keeps a pathological seed from
+# hanging CI; riscdiff exits non-zero on any divergence and drops a
+# minimized repro into bench/out/ (uploaded as a CI artifact).
+run_riscdiff() {
+    dir="$1"
+    echo
+    echo "== lang differential: riscdiff --seeds 200 ($dir) =="
+    (cd "$dir" && ./examples/riscdiff --seeds 200 \
+        --time-budget-ms 300000 --repro-dir bench/out)
+}
+
+run_riscdiff "$BUILD"
 
 echo
 echo "== bench smoke: riscbench experiment registry =="
@@ -59,6 +74,12 @@ for exp in table_window_configs table_execution_time fig_icache_sweep \
         exit 1
     }
 done
+echo "-- riscbench table_code_size_generated"
+(cd "$BUILD" && ./bench/riscbench table_code_size_generated > /dev/null)
+test -s "$BUILD/bench/out/BENCH_lang.json" || {
+    echo "missing artifact: $BUILD/bench/out/BENCH_lang.json" >&2
+    exit 1
+}
 
 # Artifact-schema guard: bench artifacts are deterministic (no
 # metrics, no timestamps), so any byte drift from the checked-in
@@ -150,6 +171,7 @@ if [ "$MODE" = default ]; then
     cmake -B "$ASAN_BUILD" -S . -DSANITIZE=ON
     cmake --build "$ASAN_BUILD" -j
     run_stages "$ASAN_BUILD"
+    run_riscdiff "$ASAN_BUILD"
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,203 @@
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+std::unique_ptr<Expr>
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->value = value;
+    e->name = name;
+    e->unop = unop;
+    e->binop = binop;
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    e->args.reserve(args.size());
+    for (const auto &a : args)
+        e->args.push_back(a->clone());
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::lit(std::uint32_t v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::IntLit;
+    e->value = v;
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::var(std::string n)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Var;
+    e->name = std::move(n);
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::global(std::string n)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Global;
+    e->name = std::move(n);
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::index(std::string n, std::unique_ptr<Expr> i)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Index;
+    e->name = std::move(n);
+    e->lhs = std::move(i);
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::unary(UnOp op, std::unique_ptr<Expr> sub)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->unop = op;
+    e->lhs = std::move(sub);
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::binary(BinOp op, std::unique_ptr<Expr> l, std::unique_ptr<Expr> r)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->binop = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+std::unique_ptr<Expr>
+Expr::call(std::string n, std::vector<std::unique_ptr<Expr>> a)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Call;
+    e->name = std::move(n);
+    e->args = std::move(a);
+    return e;
+}
+
+std::unique_ptr<Stmt>
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->name = name;
+    if (index)
+        s->index = index->clone();
+    if (expr)
+        s->expr = expr->clone();
+    s->body = cloneBody(body);
+    s->elseBody = cloneBody(elseBody);
+    return s;
+}
+
+std::vector<std::unique_ptr<Stmt>>
+cloneBody(const std::vector<std::unique_ptr<Stmt>> &body)
+{
+    std::vector<std::unique_ptr<Stmt>> out;
+    out.reserve(body.size());
+    for (const auto &s : body)
+        out.push_back(s->clone());
+    return out;
+}
+
+Function
+Function::clone() const
+{
+    Function f;
+    f.name = name;
+    f.params = params;
+    f.body = cloneBody(body);
+    return f;
+}
+
+Program
+Program::clone() const
+{
+    Program p;
+    p.globals = globals;
+    p.functions.reserve(functions.size());
+    for (const auto &f : functions)
+        p.functions.push_back(f.clone());
+    return p;
+}
+
+int
+Program::findFunction(const std::string &name) const
+{
+    for (std::size_t i = 0; i < functions.size(); ++i)
+        if (functions[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+Program::findGlobal(const std::string &name) const
+{
+    for (std::size_t i = 0; i < globals.size(); ++i)
+        if (globals[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+namespace {
+
+std::size_t
+exprNodes(const Expr &e)
+{
+    std::size_t n = 1;
+    if (e.lhs)
+        n += exprNodes(*e.lhs);
+    if (e.rhs)
+        n += exprNodes(*e.rhs);
+    for (const auto &a : e.args)
+        n += exprNodes(*a);
+    return n;
+}
+
+std::size_t
+stmtNodes(const Stmt &s)
+{
+    std::size_t n = 1;
+    if (s.index)
+        n += exprNodes(*s.index);
+    if (s.expr)
+        n += exprNodes(*s.expr);
+    for (const auto &sub : s.body)
+        n += stmtNodes(*sub);
+    for (const auto &sub : s.elseBody)
+        n += stmtNodes(*sub);
+    return n;
+}
+
+} // namespace
+
+std::size_t
+programNodes(const Program &program)
+{
+    // Globals and functions count as nodes themselves so that every
+    // declaration-dropping edit strictly shrinks the measure — the
+    // minimizer's termination argument rests on that.
+    std::size_t n = program.globals.size();
+    for (const auto &f : program.functions) {
+        n += 1;
+        for (const auto &s : f.body)
+            n += stmtNodes(*s);
+    }
+    return n;
+}
+
+} // namespace risc1::lang

@@ -1,0 +1,402 @@
+#include "lang/gen.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "lang/compile.hh"
+
+namespace risc1::lang {
+
+namespace {
+
+/** RISC expression-stack registers available to one function. */
+constexpr int kStackRegs = 10;  // r16..r25
+/** Scratch slots an out() statement needs above its operand. */
+constexpr int kOutScratch = 2;
+
+std::unique_ptr<Stmt>
+makeStmt(StmtKind kind)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    return s;
+}
+
+class Gen
+{
+  public:
+    Gen(std::uint64_t seed, const GenConfig &cfg)
+        : rng_(seed ? seed : 0x9e3779b97f4a7c15ull), cfg_(cfg)
+    {
+    }
+
+    Program
+    run()
+    {
+        genGlobals();
+        genSignatures();
+        for (std::size_t i = 0; i < prog_.functions.size(); ++i)
+            genBody(i);
+        return std::move(prog_);
+    }
+
+  private:
+    // -- program shape --------------------------------------------------
+
+    void
+    genGlobals()
+    {
+        const unsigned scalars =
+            1 + static_cast<unsigned>(rng_.below(cfg_.maxScalars));
+        for (unsigned i = 0; i < scalars; ++i) {
+            GlobalDecl g;
+            g.name = cat("s", i);
+            g.isArray = false;
+            g.init = static_cast<std::uint32_t>(rng_.range(-100, 100));
+            scalars_.push_back(g.name);
+            prog_.globals.push_back(std::move(g));
+        }
+        const unsigned arrays =
+            static_cast<unsigned>(rng_.below(cfg_.maxArrays + 1));
+        for (unsigned i = 0; i < arrays; ++i) {
+            GlobalDecl g;
+            g.name = cat("a", i);
+            g.isArray = true;
+            g.size = 4u << rng_.below(3);  // 4, 8 or 16
+            arrays_.push_back(g.name);
+            prog_.globals.push_back(std::move(g));
+        }
+    }
+
+    void
+    genSignatures()
+    {
+        Function main;
+        main.name = "main";
+        prog_.functions.push_back(std::move(main));
+        const unsigned callees =
+            static_cast<unsigned>(rng_.below(cfg_.maxFunctions + 1));
+        for (unsigned i = 0; i < callees; ++i) {
+            Function f;
+            f.name = cat("f", i + 1);
+            const unsigned nParams = static_cast<unsigned>(
+                rng_.below(std::min<unsigned>(cfg_.maxParams,
+                                              kMaxParams) +
+                           1));
+            for (unsigned p = 0; p < nParams; ++p)
+                f.params.push_back(cat("p", p));
+            prog_.functions.push_back(std::move(f));
+        }
+    }
+
+    // -- one function ---------------------------------------------------
+
+    void
+    genBody(std::size_t index)
+    {
+        fnIndex_ = index;
+        callBudget_ = cfg_.callBudget;
+        reads_.clear();
+        assignables_.clear();
+        counters_.clear();
+        nextCounter_ = 0;
+
+        Function &f = prog_.functions[index];
+        for (const auto &p : f.params)
+            reads_.push_back(p);
+
+        const unsigned generals =
+            static_cast<unsigned>(rng_.below(3));  // 0..2 named locals
+        const unsigned loops =
+            static_cast<unsigned>(rng_.below(3));  // 0..2 while slots
+        const unsigned locals = std::min<unsigned>(generals + loops,
+                                                   kMaxLocals);
+        // The RISC expression stack shares r16..r25 with the locals;
+        // reserve the out() scratch uniformly so any statement may be
+        // an out().
+        budget_ = kStackRegs - static_cast<int>(locals) - kOutScratch;
+
+        for (unsigned i = 0; i < generals; ++i) {
+            auto s = makeStmt(StmtKind::Local);
+            s->name = cat("v", i);
+            s->expr = genExprChecked(2, budget_);
+            f.body.push_back(std::move(s));
+            reads_.push_back(cat("v", i));
+            assignables_.push_back(cat("v", i));
+        }
+        for (unsigned i = 0; i < loops && generals + i < locals; ++i) {
+            auto s = makeStmt(StmtKind::Local);
+            s->name = cat("c", i);
+            s->expr = Expr::lit(0);
+            f.body.push_back(std::move(s));
+            reads_.push_back(cat("c", i));
+            counters_.push_back(cat("c", i));
+        }
+
+        genBlock(f.body, 0);
+        if (rng_.chance(3, 4)) {
+            auto ret = makeStmt(StmtKind::Return);
+            ret->expr = genExprChecked(cfg_.maxExprHeight, budget_);
+            f.body.push_back(std::move(ret));
+        }
+    }
+
+    void
+    genBlock(std::vector<std::unique_ptr<Stmt>> &into, unsigned depth)
+    {
+        const unsigned n =
+            1 + static_cast<unsigned>(rng_.below(cfg_.maxStmts));
+        for (unsigned i = 0; i < n; ++i)
+            genStmt(into, depth);
+    }
+
+    void
+    genStmt(std::vector<std::unique_ptr<Stmt>> &into, unsigned depth)
+    {
+        for (;;) {
+            switch (rng_.below(10)) {
+              case 0:
+              case 1:
+              case 2: {  // assignment
+                if (assignables_.empty() && scalars_.empty())
+                    continue;
+                auto s = makeStmt(StmtKind::Assign);
+                s->name = pickAssignable();
+                s->expr = genExprChecked(cfg_.maxExprHeight, budget_);
+                into.push_back(std::move(s));
+                return;
+              }
+              case 3: {  // array store
+                if (arrays_.empty())
+                    continue;
+                auto s = makeStmt(StmtKind::Store);
+                s->name = arrays_[rng_.below(arrays_.size())];
+                s->index = genExprChecked(2, budget_);
+                s->expr = genExprChecked(cfg_.maxExprHeight,
+                                         budget_ - 1);
+                into.push_back(std::move(s));
+                return;
+              }
+              case 4: {  // out()
+                auto s = makeStmt(StmtKind::Out);
+                s->expr = genExprChecked(cfg_.maxExprHeight, budget_);
+                into.push_back(std::move(s));
+                return;
+              }
+              case 5:
+              case 6: {  // if / if-else
+                if (depth >= cfg_.maxBlockDepth)
+                    continue;
+                auto s = makeStmt(StmtKind::If);
+                s->expr = genExprChecked(cfg_.maxExprHeight, budget_);
+                genBlock(s->body, depth + 1);
+                if (rng_.chance(1, 2))
+                    genBlock(s->elseBody, depth + 1);
+                into.push_back(std::move(s));
+                return;
+              }
+              case 7: {  // bounded while
+                if (depth >= cfg_.maxBlockDepth ||
+                    nextCounter_ >= counters_.size())
+                    continue;
+                const std::string c = counters_[nextCounter_++];
+                const std::int64_t trip =
+                    rng_.range(1, cfg_.maxLoopTrip);
+                // Reset, so a loop nested inside another loop reruns
+                // its full trip count each time around.
+                auto reset = makeStmt(StmtKind::Assign);
+                reset->name = c;
+                reset->expr = Expr::lit(0);
+                into.push_back(std::move(reset));
+                auto s = makeStmt(StmtKind::While);
+                s->expr = Expr::binary(
+                    BinOp::Lt, Expr::var(c),
+                    Expr::lit(static_cast<std::uint32_t>(trip)));
+                genBlock(s->body, depth + 1);
+                auto inc = makeStmt(StmtKind::Assign);
+                inc->name = c;
+                inc->expr = Expr::binary(BinOp::Add, Expr::var(c),
+                                         Expr::lit(1));
+                s->body.push_back(std::move(inc));
+                into.push_back(std::move(s));
+                return;
+              }
+              case 8: {  // statement-level call
+                if (callBudget_ == 0 ||
+                    fnIndex_ + 1 >= prog_.functions.size())
+                    continue;
+                auto s = makeStmt(StmtKind::ExprStmt);
+                s->expr = genCall(cfg_.maxExprHeight);
+                if (!s->expr)
+                    continue;
+                into.push_back(std::move(s));
+                return;
+              }
+              case 9: {  // early return
+                if (!rng_.chance(1, 3))
+                    continue;  // keep returns rare mid-block
+                auto s = makeStmt(StmtKind::Return);
+                s->expr = genExprChecked(cfg_.maxExprHeight, budget_);
+                into.push_back(std::move(s));
+                return;
+              }
+            }
+        }
+    }
+
+    std::string
+    pickAssignable()
+    {
+        const std::size_t n = assignables_.size() + scalars_.size();
+        const std::size_t k = rng_.below(n);
+        if (k < assignables_.size())
+            return assignables_[k];
+        return scalars_[k - assignables_.size()];
+    }
+
+    // -- expressions ----------------------------------------------------
+
+    /**
+     * Sample an expression whose RISC stack need fits @p budget:
+     * retry with shrinking height, falling back to a literal.
+     */
+    std::unique_ptr<Expr>
+    genExprChecked(unsigned height, int budget)
+    {
+        for (unsigned h = height; h >= 1; --h) {
+            auto e = genExpr(h);
+            if (evalStackDepth(*e) <= budget)
+                return e;
+        }
+        return Expr::lit(static_cast<std::uint32_t>(rng_.range(0, 9)));
+    }
+
+    std::unique_ptr<Expr>
+    genExpr(unsigned height)
+    {
+        if (height <= 1)
+            return genLeaf();
+        switch (rng_.below(8)) {
+          case 0: {  // unary
+            static constexpr UnOp kUnOps[] = {UnOp::Neg, UnOp::Not,
+                                              UnOp::LNot};
+            return Expr::unary(kUnOps[rng_.below(3)],
+                               genExpr(height - 1));
+          }
+          case 1: {  // array read
+            if (arrays_.empty())
+                return genBinary(height);
+            return Expr::index(arrays_[rng_.below(arrays_.size())],
+                               genExpr(height - 1));
+          }
+          case 2: {  // call
+            if (auto call = genCall(height))
+                return call;
+            return genBinary(height);
+          }
+          default:
+            return genBinary(height);
+        }
+    }
+
+    std::unique_ptr<Expr>
+    genBinary(unsigned height)
+    {
+        static constexpr BinOp kOps[] = {
+            BinOp::LOr, BinOp::LAnd, BinOp::Or,  BinOp::Xor,
+            BinOp::And, BinOp::Eq,   BinOp::Ne,  BinOp::Lt,
+            BinOp::Le,  BinOp::Gt,   BinOp::Ge,  BinOp::Shl,
+            BinOp::Shr, BinOp::Add,  BinOp::Sub, BinOp::Add,
+        };
+        const BinOp op = kOps[rng_.below(std::size(kOps))];
+        auto lhs = genExpr(height - 1);
+        if (op == BinOp::Shl || op == BinOp::Shr) {
+            // Shift counts are literals by language rule.
+            return Expr::binary(
+                op, std::move(lhs),
+                Expr::lit(static_cast<std::uint32_t>(
+                    rng_.below(32))));
+        }
+        return Expr::binary(op, std::move(lhs), genExpr(height - 1));
+    }
+
+    /** A call to a later function, or nullptr when none is possible. */
+    std::unique_ptr<Expr>
+    genCall(unsigned height)
+    {
+        if (callBudget_ == 0 || fnIndex_ + 1 >= prog_.functions.size())
+            return nullptr;
+        const std::size_t lo = fnIndex_ + 1;
+        const std::size_t target =
+            lo + rng_.below(prog_.functions.size() - lo);
+        --callBudget_;
+        std::vector<std::unique_ptr<Expr>> args;
+        const unsigned argHeight =
+            height > 2 ? 2 : (height > 1 ? height - 1 : 1);
+        for (std::size_t i = 0;
+             i < prog_.functions[target].params.size(); ++i)
+            args.push_back(genExpr(argHeight));
+        return Expr::call(prog_.functions[target].name,
+                          std::move(args));
+    }
+
+    std::unique_ptr<Expr>
+    genLeaf()
+    {
+        for (;;) {
+            switch (rng_.below(6)) {
+              case 0:
+              case 1:  // small literal
+                return Expr::lit(static_cast<std::uint32_t>(
+                    rng_.range(-8, 100)));
+              case 2: {  // boundary literal
+                static constexpr std::uint32_t kEdges[] = {
+                    0u,          1u,          0x7fffffffu,
+                    0x80000000u, 0xffffffffu, 0x55555555u,
+                };
+                return Expr::lit(kEdges[rng_.below(std::size(kEdges))]);
+              }
+              case 3:
+              case 4: {  // local/param read
+                if (reads_.empty())
+                    continue;
+                return Expr::var(reads_[rng_.below(reads_.size())]);
+              }
+              case 5: {  // global scalar read
+                if (scalars_.empty())
+                    continue;
+                return Expr::global(
+                    scalars_[rng_.below(scalars_.size())]);
+              }
+            }
+        }
+    }
+
+    Rng rng_;
+    const GenConfig &cfg_;
+    Program prog_;
+    std::vector<std::string> scalars_;
+    std::vector<std::string> arrays_;
+
+    // per-function sampling state
+    std::size_t fnIndex_ = 0;
+    unsigned callBudget_ = 0;
+    int budget_ = 0;
+    std::vector<std::string> reads_;        ///< readable local names
+    std::vector<std::string> assignables_;  ///< assignable local names
+    std::vector<std::string> counters_;     ///< loop counters, in order
+    std::size_t nextCounter_ = 0;
+};
+
+} // namespace
+
+Program
+generateProgram(std::uint64_t seed, const GenConfig &cfg)
+{
+    return Gen(seed, cfg).run();
+}
+
+} // namespace risc1::lang

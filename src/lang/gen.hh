@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seeded random RL program generator — the workload sampler behind
+ * riscgen and the riscdiff fuzzing loop.
+ *
+ * Every sampled program is valid by construction and terminates:
+ *
+ *  - Loops are bounded: each `while` gets a dedicated counter local
+ *    the loop body never touches except for the trailing increment,
+ *    so every loop runs at most its literal trip count.
+ *  - Calls form a DAG: function i only calls functions with a larger
+ *    index, so recursion is impossible.  (The call-heavy shape is the
+ *    point — procedure linkage is where the two ISAs differ most.)
+ *  - Expressions are sampled against the RISC backend's stack budget
+ *    (evalStackDepth), so both compilers accept every program.
+ *
+ * Same seed + same knobs → the identical AST, on every platform
+ * (Rng is xorshift64*, no std:: distributions) — the reproducibility
+ * guarantee riscdiff's repro files and BENCH_lang.json depend on.
+ */
+
+#ifndef RISC1_LANG_GEN_HH
+#define RISC1_LANG_GEN_HH
+
+#include <cstdint>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/** Sampler knobs (defaults match riscgen/riscdiff). */
+struct GenConfig
+{
+    unsigned maxScalars = 3;       ///< global scalars
+    unsigned maxArrays = 2;        ///< global arrays
+    unsigned maxFunctions = 3;     ///< callees besides main
+    unsigned maxParams = 3;        ///< per function
+    unsigned maxStmts = 4;         ///< per block
+    unsigned maxBlockDepth = 2;    ///< if/while nesting
+    unsigned maxExprHeight = 3;    ///< sampled tree height
+    unsigned maxLoopTrip = 8;      ///< literal while trip count
+    unsigned callBudget = 2;       ///< call sites per function
+};
+
+/** Sample one valid, terminating program from @p seed. */
+Program generateProgram(std::uint64_t seed, const GenConfig &cfg = {});
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_GEN_HH

@@ -1,0 +1,294 @@
+#include "lang/interp.hh"
+
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace risc1::lang {
+
+std::uint32_t
+Observation::digest() const
+{
+    std::uint32_t h = 2166136261u;
+    auto mix = [&h](std::uint32_t word) {
+        for (int i = 0; i < 4; ++i) {
+            h ^= (word >> (8 * i)) & 0xffu;
+            h *= 16777619u;
+        }
+    };
+    mix(ret);
+    mix(static_cast<std::uint32_t>(globals.size()));
+    for (const std::uint32_t w : globals)
+        mix(w);
+    mix(static_cast<std::uint32_t>(outTotal));
+    mix(static_cast<std::uint32_t>(outTotal >> 32));
+    for (const std::uint32_t w : out)
+        mix(w);
+    return h;
+}
+
+std::string
+Observation::summary() const
+{
+    std::ostringstream os;
+    os << "ret=0x" << std::hex << ret << " digest=0x" << digest()
+       << std::dec << " globals=" << globals.size()
+       << "w out=" << outTotal;
+    return os.str();
+}
+
+namespace {
+
+/** Exception used to unwind when a fuse blows mid-evaluation. */
+struct FuseBlown
+{
+    std::string what;
+};
+
+class Interp
+{
+  public:
+    Interp(const Program &program, const InterpLimits &limits)
+        : program_(program), limits_(limits)
+    {
+        for (const auto &g : program.globals) {
+            globalBase_[g.name] = globals_.size();
+            if (g.isArray)
+                globals_.resize(globals_.size() + g.size, 0);
+            else
+                globals_.push_back(g.init);
+        }
+    }
+
+    InterpResult
+    run()
+    {
+        InterpResult result;
+        try {
+            const int mainIdx = program_.findFunction("main");
+            if (mainIdx < 0)
+                fatal("lang: program has no 'main' function");
+            result.obs.ret = callFunction(
+                static_cast<std::size_t>(mainIdx), {});
+            result.ok = true;
+        } catch (const FuseBlown &fuse) {
+            result.error = fuse.what;
+        }
+        result.steps = steps_;
+        result.calls = calls_;
+        result.obs.globals = globals_;
+        result.obs.outTotal = outTotal_;
+        result.obs.out = out_;
+        return result;
+    }
+
+  private:
+    using Frame = std::unordered_map<std::string, std::uint32_t>;
+
+    void
+    tick()
+    {
+        if (++steps_ > limits_.maxSteps)
+            throw FuseBlown{cat("step fuse blown (", limits_.maxSteps,
+                                ")")};
+    }
+
+    std::uint32_t
+    callFunction(std::size_t index,
+                 const std::vector<std::uint32_t> &args)
+    {
+        if (++depth_ > limits_.maxCallDepth)
+            throw FuseBlown{cat("call depth fuse blown (",
+                                limits_.maxCallDepth, ")")};
+        ++calls_;
+        const Function &f = program_.functions[index];
+        Frame frame;
+        for (std::size_t i = 0; i < f.params.size(); ++i)
+            frame[f.params[i]] = args[i];
+        // All locals are zero at entry (see parser.hh).
+        preDeclareLocals(f.body, frame);
+        const std::optional<std::uint32_t> ret = execBody(f.body, frame);
+        --depth_;
+        return ret.value_or(0);
+    }
+
+    void
+    preDeclareLocals(const std::vector<std::unique_ptr<Stmt>> &body,
+                     Frame &frame)
+    {
+        for (const auto &s : body)
+            if (s->kind == StmtKind::Local)
+                frame.emplace(s->name, 0);
+    }
+
+    std::optional<std::uint32_t>
+    execBody(const std::vector<std::unique_ptr<Stmt>> &body,
+             Frame &frame)
+    {
+        for (const auto &s : body)
+            if (auto ret = execStmt(*s, frame))
+                return ret;
+        return std::nullopt;
+    }
+
+    std::optional<std::uint32_t>
+    execStmt(const Stmt &s, Frame &frame)
+    {
+        tick();
+        switch (s.kind) {
+          case StmtKind::Local:
+          case StmtKind::Assign: {
+            const std::uint32_t v = eval(*s.expr, frame);
+            if (const auto it = frame.find(s.name); it != frame.end()) {
+                it->second = v;
+            } else {
+                const auto slot = globalBase_.find(s.name);
+                if (slot == globalBase_.end())
+                    fatal(cat("lang: unbound name '", s.name, "'"));
+                globals_[slot->second] = v;
+            }
+            return std::nullopt;
+          }
+          case StmtKind::Store: {
+            const std::uint32_t idx = eval(*s.index, frame);
+            const std::uint32_t v = eval(*s.expr, frame);
+            const auto &g = globalFor(s.name);
+            globals_[globalBase_.at(s.name) + (idx & (g.size - 1))] = v;
+            return std::nullopt;
+          }
+          case StmtKind::If:
+            if (eval(*s.expr, frame) != 0)
+                return execBody(s.body, frame);
+            return execBody(s.elseBody, frame);
+          case StmtKind::While:
+            while (eval(*s.expr, frame) != 0)
+                if (auto ret = execBody(s.body, frame))
+                    return ret;
+            return std::nullopt;
+          case StmtKind::Return:
+            return eval(*s.expr, frame);
+          case StmtKind::Out: {
+            const std::uint32_t v = eval(*s.expr, frame);
+            ++outTotal_;
+            if (out_.size() < kOutCap)
+                out_.push_back(v);
+            return std::nullopt;
+          }
+          case StmtKind::ExprStmt:
+            eval(*s.expr, frame);
+            return std::nullopt;
+        }
+        panic("bad statement kind");
+    }
+
+    const GlobalDecl &
+    globalFor(const std::string &name) const
+    {
+        const int g = program_.findGlobal(name);
+        if (g < 0)
+            fatal(cat("lang: unbound global '", name, "'"));
+        return program_.globals[static_cast<std::size_t>(g)];
+    }
+
+    std::uint32_t
+    eval(const Expr &e, Frame &frame)
+    {
+        tick();
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return e.value;
+          case ExprKind::Var: {
+            const auto it = frame.find(e.name);
+            if (it != frame.end())
+                return it->second;
+            // Un-canonicalized global reference (tree built by hand).
+            return globals_[globalBase_.at(e.name)];
+          }
+          case ExprKind::Global:
+            return globals_[globalBase_.at(e.name)];
+          case ExprKind::Index: {
+            const std::uint32_t idx = eval(*e.lhs, frame);
+            const auto &g = globalFor(e.name);
+            return globals_[globalBase_.at(e.name) +
+                            (idx & (g.size - 1))];
+          }
+          case ExprKind::Unary: {
+            const std::uint32_t v = eval(*e.lhs, frame);
+            switch (e.unop) {
+              case UnOp::Neg: return 0u - v;
+              case UnOp::Not: return ~v;
+              case UnOp::LNot: return v == 0 ? 1u : 0u;
+            }
+            panic("bad unary operator");
+          }
+          case ExprKind::Binary: {
+            // Short-circuit forms evaluate the rhs conditionally.
+            if (e.binop == BinOp::LAnd) {
+                if (eval(*e.lhs, frame) == 0)
+                    return 0;
+                return eval(*e.rhs, frame) != 0 ? 1u : 0u;
+            }
+            if (e.binop == BinOp::LOr) {
+                if (eval(*e.lhs, frame) != 0)
+                    return 1;
+                return eval(*e.rhs, frame) != 0 ? 1u : 0u;
+            }
+            const std::uint32_t a = eval(*e.lhs, frame);
+            const std::uint32_t b = eval(*e.rhs, frame);
+            const std::int32_t sa = static_cast<std::int32_t>(a);
+            const std::int32_t sb = static_cast<std::int32_t>(b);
+            switch (e.binop) {
+              case BinOp::Or: return a | b;
+              case BinOp::Xor: return a ^ b;
+              case BinOp::And: return a & b;
+              case BinOp::Eq: return a == b ? 1u : 0u;
+              case BinOp::Ne: return a != b ? 1u : 0u;
+              case BinOp::Lt: return sa < sb ? 1u : 0u;
+              case BinOp::Le: return sa <= sb ? 1u : 0u;
+              case BinOp::Gt: return sa > sb ? 1u : 0u;
+              case BinOp::Ge: return sa >= sb ? 1u : 0u;
+              case BinOp::Shl: return a << (b & 31);
+              case BinOp::Shr: return a >> (b & 31);
+              case BinOp::Add: return a + b;
+              case BinOp::Sub: return a - b;
+              case BinOp::LAnd:
+              case BinOp::LOr: break; // handled above
+            }
+            panic("bad binary operator");
+          }
+          case ExprKind::Call: {
+            const int fn = program_.findFunction(e.name);
+            if (fn < 0)
+                fatal(cat("lang: call to undefined '", e.name, "'"));
+            std::vector<std::uint32_t> args;
+            args.reserve(e.args.size());
+            for (const auto &a : e.args)
+                args.push_back(eval(*a, frame));
+            return callFunction(static_cast<std::size_t>(fn), args);
+          }
+        }
+        panic("bad expression kind");
+    }
+
+    const Program &program_;
+    const InterpLimits &limits_;
+    std::vector<std::uint32_t> globals_;
+    std::unordered_map<std::string, std::size_t> globalBase_;
+    std::vector<std::uint32_t> out_;
+    std::uint64_t outTotal_ = 0;
+    std::uint64_t steps_ = 0;
+    std::uint64_t calls_ = 0;
+    unsigned depth_ = 0;
+};
+
+} // namespace
+
+InterpResult
+interpret(const Program &program, const InterpLimits &limits)
+{
+    return Interp(program, limits).run();
+}
+
+} // namespace risc1::lang

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The RL reference interpreter — the oracle every backend is measured
+ * against, plus the language-level observables that define
+ * whole-program agreement for the differential harness (diff.hh):
+ *
+ *  - the return value of `main` (the per-ISA checksum register),
+ *  - the final global-memory image, word for word,
+ *  - the `out()` trace (total count plus the first kOutCap values).
+ *
+ * Semantics are fixed here once: 32-bit wrapping arithmetic, signed
+ * comparisons yielding 0/1, logical shifts with literal counts,
+ * short-circuit && and ||, array indices masked with size-1, all
+ * locals zero at function entry.  Both lowerings implement exactly
+ * these rules; any disagreement is a compiler or simulator bug.
+ */
+
+#ifndef RISC1_LANG_INTERP_HH
+#define RISC1_LANG_INTERP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/** The language-level observables of one program execution. */
+struct Observation
+{
+    std::uint32_t ret = 0;             ///< return value of main
+    std::vector<std::uint32_t> globals;  ///< final image, layout order
+    std::uint64_t outTotal = 0;        ///< number of out() executions
+    std::vector<std::uint32_t> out;    ///< first kOutCap out() values
+
+    /** FNV-1a over every observable word — the corpus golden value. */
+    std::uint32_t digest() const;
+
+    bool operator==(const Observation &o) const = default;
+
+    /** One-line rendering for diagnostics and goldens. */
+    std::string summary() const;
+};
+
+/** Interpreter limits: `steps` counts statements + expression nodes. */
+struct InterpLimits
+{
+    std::uint64_t maxSteps = 2'000'000;
+    unsigned maxCallDepth = 200;
+};
+
+/** One reference execution. */
+struct InterpResult
+{
+    bool ok = false;          ///< completed within the fuses
+    std::string error;        ///< fuse description when !ok
+    std::uint64_t steps = 0;  ///< statements + expression nodes
+    std::uint64_t calls = 0;  ///< function calls executed
+    Observation obs;
+};
+
+/** Run @p program (from `main`) under the reference semantics. */
+InterpResult interpret(const Program &program,
+                       const InterpLimits &limits = {});
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_INTERP_HH

@@ -1,0 +1,42 @@
+#include "lang/layout.hh"
+
+#include "common/logging.hh"
+
+namespace risc1::lang {
+
+std::uint32_t
+DataLayout::wordOf(const std::string &name) const
+{
+    for (const auto &e : entries)
+        if (e.name == name)
+            return e.wordOffset;
+    fatal(cat("lang layout: unknown global '", name, "'"));
+}
+
+DataLayout
+layoutProgram(const Program &program)
+{
+    DataLayout layout;
+    std::uint32_t off = 0;
+    for (const auto &g : program.globals) {
+        DataLayout::Entry e;
+        e.name = g.name;
+        e.wordOffset = off;
+        e.words = g.isArray ? g.size : 1;
+        e.isArray = g.isArray;
+        off += e.words;
+        layout.entries.push_back(std::move(e));
+    }
+    layout.globalWords = off;
+    layout.outCountWord = off;
+    layout.outBufWord = off + 1;
+    layout.totalWords = off + 1 + kOutCap;
+    // The RISC backend addresses every cell as a signed 13-bit byte
+    // displacement off the block base register.
+    if (layout.totalWords * 4 > 4000)
+        fatal(cat("lang layout: data block too large (",
+                  layout.totalWords, " words)"));
+    return layout;
+}
+
+} // namespace risc1::lang

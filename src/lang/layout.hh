@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The shared data layout both RL backends must implement bit for bit.
+ *
+ * Every compiled program carries one statically allocated data block,
+ * labelled `gvars` in the generated assembly:
+ *
+ *   word 0 ..            global scalars and arrays, declaration order
+ *   word outCountWord    number of out() executions (always counted)
+ *   word outBufWord ..   the first kOutCap out() values, append order
+ *
+ * The differential harness reads the block back through
+ * Target::peekWord() and compares it against the interpreter's
+ * Observation — so the layout is part of the language contract, not a
+ * backend implementation detail.  Offsets are in 32-bit words from the
+ * `gvars` label; multiply by 4 for byte offsets.
+ */
+
+#ifndef RISC1_LANG_LAYOUT_HH
+#define RISC1_LANG_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/** Label of the data block in generated assembly (both ISAs). */
+inline constexpr const char *kDataLabel = "gvars";
+
+/** Word offsets of every language-visible memory cell. */
+struct DataLayout
+{
+    struct Entry
+    {
+        std::string name;
+        std::uint32_t wordOffset = 0;
+        std::uint32_t words = 1;  ///< 1 for scalars, size for arrays
+        bool isArray = false;
+    };
+
+    std::vector<Entry> entries;     ///< declaration order
+    std::uint32_t globalWords = 0;  ///< scalar + array words
+    std::uint32_t outCountWord = 0; ///< == globalWords
+    std::uint32_t outBufWord = 0;   ///< == globalWords + 1
+    std::uint32_t totalWords = 0;   ///< whole block, buffer included
+
+    /** Word offset of a named global (fatal if unknown). */
+    std::uint32_t wordOf(const std::string &name) const;
+};
+
+/**
+ * Compute the layout for @p program.  Fatal if the block would not
+ * fit in the 13-bit signed displacement the RISC backend uses for
+ * `ldl/stl off(r8)` addressing (the checker's size limits keep real
+ * programs far below this).
+ */
+DataLayout layoutProgram(const Program &program);
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_LAYOUT_HH

@@ -1,0 +1,206 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace risc1::lang {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lexLang(const std::string &source)
+{
+    std::vector<Token> out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identBody(source[j]))
+                ++j;
+            Token t;
+            t.kind = Tok::Ident;
+            t.text = source.substr(i, j - i);
+            t.line = line;
+            out.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            int base = 10;
+            if (c == '0' && j + 1 < n &&
+                (source[j + 1] == 'x' || source[j + 1] == 'X')) {
+                base = 16;
+                j += 2;
+                if (j >= n ||
+                    !std::isxdigit(static_cast<unsigned char>(source[j])))
+                    fatal(cat("lang line ", line,
+                              ": malformed hex literal"));
+            }
+            std::uint64_t value = 0;
+            while (j < n && (std::isxdigit(
+                                 static_cast<unsigned char>(source[j])) ||
+                             (base == 10 && std::isdigit(static_cast<
+                                                unsigned char>(source[j]))))) {
+                const char d = source[j];
+                unsigned digit;
+                if (d >= '0' && d <= '9')
+                    digit = static_cast<unsigned>(d - '0');
+                else if (base == 16 && d >= 'a' && d <= 'f')
+                    digit = static_cast<unsigned>(d - 'a' + 10);
+                else if (base == 16 && d >= 'A' && d <= 'F')
+                    digit = static_cast<unsigned>(d - 'A' + 10);
+                else
+                    break;
+                value = value * static_cast<unsigned>(base) + digit;
+                if (value > 0xffffffffull)
+                    fatal(cat("lang line ", line,
+                              ": integer literal exceeds 32 bits"));
+                ++j;
+            }
+            if (j < n && identBody(source[j]))
+                fatal(cat("lang line ", line,
+                          ": malformed number '",
+                          source.substr(i, j + 1 - i), "'"));
+            Token t;
+            t.kind = Tok::Number;
+            t.value = static_cast<std::uint32_t>(value);
+            t.line = line;
+            out.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+
+        auto two = [&](char second) {
+            return i + 1 < n && source[i + 1] == second;
+        };
+        switch (c) {
+          case '(': push(Tok::LParen); ++i; continue;
+          case ')': push(Tok::RParen); ++i; continue;
+          case '{': push(Tok::LBrace); ++i; continue;
+          case '}': push(Tok::RBrace); ++i; continue;
+          case '[': push(Tok::LBracket); ++i; continue;
+          case ']': push(Tok::RBracket); ++i; continue;
+          case ',': push(Tok::Comma); ++i; continue;
+          case ';': push(Tok::Semi); ++i; continue;
+          case '+': push(Tok::Plus); ++i; continue;
+          case '-': push(Tok::Minus); ++i; continue;
+          case '~': push(Tok::Tilde); ++i; continue;
+          case '^': push(Tok::Caret); ++i; continue;
+          case '&':
+            if (two('&')) { push(Tok::AmpAmp); i += 2; }
+            else { push(Tok::Amp); ++i; }
+            continue;
+          case '|':
+            if (two('|')) { push(Tok::PipePipe); i += 2; }
+            else { push(Tok::Pipe); ++i; }
+            continue;
+          case '=':
+            if (two('=')) { push(Tok::EqEq); i += 2; }
+            else { push(Tok::Assign); ++i; }
+            continue;
+          case '!':
+            if (two('=')) { push(Tok::NotEq); i += 2; }
+            else { push(Tok::Bang); ++i; }
+            continue;
+          case '<':
+            if (two('<')) { push(Tok::Shl); i += 2; }
+            else if (two('=')) { push(Tok::Le); i += 2; }
+            else { push(Tok::Lt); ++i; }
+            continue;
+          case '>':
+            if (two('>')) { push(Tok::Shr); i += 2; }
+            else if (two('=')) { push(Tok::Ge); i += 2; }
+            else { push(Tok::Gt); ++i; }
+            continue;
+          default:
+            fatal(cat("lang line ", line, ": unexpected character '",
+                      std::string(1, c), "'"));
+        }
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(std::move(end));
+    return out;
+}
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+    }
+    return "?";
+}
+
+} // namespace risc1::lang

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tokenizer for the RL mini language (docs/LANG.md).  Kept separate
+ * from the assembler lexers: RL is an infix expression language with
+ * multi-character operators, not a line-oriented assembly syntax.
+ */
+
+#ifndef RISC1_LANG_LEXER_HH
+#define RISC1_LANG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risc1::lang {
+
+enum class Tok : std::uint8_t
+{
+    End,
+    Ident,    ///< identifier or keyword (text distinguishes)
+    Number,   ///< decimal or 0x hex literal
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    Assign,       ///< =
+    Plus, Minus, Tilde, Bang,
+    Amp, Pipe, Caret,
+    AmpAmp, PipePipe,
+    EqEq, NotEq, Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;          ///< Ident spelling
+    std::uint32_t value = 0;   ///< Number value (32-bit wrapping)
+    int line = 0;
+};
+
+/**
+ * Tokenize @p source.  `//` comments run to end of line.  @throws
+ * FatalError with a line number on an unknown character or malformed
+ * number.  The returned vector always ends with a Tok::End token.
+ */
+std::vector<Token> lexLang(const std::string &source);
+
+/** Printable token-kind name for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_LEXER_HH

@@ -1,0 +1,288 @@
+#include "lang/minimize.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "lang/parser.hh"
+
+namespace risc1::lang {
+
+namespace {
+
+using Body = std::vector<std::unique_ptr<Stmt>>;
+
+/** Every block in @p body, outermost first (deterministic order). */
+void
+collectBlocks(Body &body, std::vector<Body *> &out)
+{
+    out.push_back(&body);
+    for (auto &s : body) {
+        if (s->kind == StmtKind::If || s->kind == StmtKind::While) {
+            collectBlocks(s->body, out);
+            if (s->kind == StmtKind::If)
+                collectBlocks(s->elseBody, out);
+        }
+    }
+}
+
+void
+collectFunctionBlocks(Program &p, std::vector<Body *> &out)
+{
+    for (auto &f : p.functions)
+        collectBlocks(f.body, out);
+}
+
+/** Every expression slot in @p body, preorder (deterministic). */
+void
+collectExprSlots(std::unique_ptr<Expr> &slot,
+                 std::vector<std::unique_ptr<Expr> *> &out)
+{
+    if (!slot)
+        return;
+    out.push_back(&slot);
+    collectExprSlots(slot->lhs, out);
+    collectExprSlots(slot->rhs, out);
+    for (auto &a : slot->args)
+        collectExprSlots(a, out);
+}
+
+void
+collectBodyExprSlots(Body &body,
+                     std::vector<std::unique_ptr<Expr> *> &out)
+{
+    for (auto &s : body) {
+        collectExprSlots(s->index, out);
+        collectExprSlots(s->expr, out);
+        collectBodyExprSlots(s->body, out);
+        collectBodyExprSlots(s->elseBody, out);
+    }
+}
+
+void
+collectProgramExprSlots(Program &p,
+                        std::vector<std::unique_ptr<Expr> *> &out)
+{
+    for (auto &f : p.functions)
+        collectBodyExprSlots(f.body, out);
+}
+
+class Minimizer
+{
+  public:
+    Minimizer(const Program &start, const FailurePredicate &pred,
+              unsigned maxTests)
+        : current_(start.clone()), pred_(pred), maxTests_(maxTests)
+    {
+        if (!pred_(current_))
+            fatal("lang minimize: the starting program does not "
+                  "reproduce the failure");
+    }
+
+    MinimizeResult
+    run()
+    {
+        bool progress = true;
+        while (progress && tests_ < maxTests_) {
+            progress = false;
+            progress |= dropFunctions();
+            progress |= dropGlobals();
+            progress |= deleteStatements();
+            progress |= unwrapBlocks();
+            progress |= shrinkExpressions();
+            ++rounds_;
+        }
+        return {std::move(current_), rounds_, tests_};
+    }
+
+  private:
+    /** Validity-gate, size-gate, and test one candidate edit. */
+    bool
+    accept(Program candidate)
+    {
+        if (tests_ >= maxTests_)
+            return false;
+        if (programNodes(candidate) >= programNodes(current_))
+            return false;  // only strictly shrinking edits terminate
+        if (!programValid(candidate))
+            return false;
+        ++tests_;
+        if (!pred_(candidate))
+            return false;
+        current_ = std::move(candidate);
+        return true;
+    }
+
+    bool
+    dropFunctions()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < current_.functions.size();) {
+            if (current_.functions[i].name == "main") {
+                ++i;
+                continue;
+            }
+            Program cand = current_.clone();
+            cand.functions.erase(cand.functions.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+            if (accept(std::move(cand)))
+                any = true;  // same index now names the next function
+            else
+                ++i;
+        }
+        return any;
+    }
+
+    bool
+    dropGlobals()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < current_.globals.size();) {
+            Program cand = current_.clone();
+            cand.globals.erase(cand.globals.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            if (accept(std::move(cand)))
+                any = true;
+            else
+                ++i;
+        }
+        return any;
+    }
+
+    bool
+    deleteStatements()
+    {
+        // (block, statement) indices stay aligned between current_
+        // and each fresh clone because collection order is
+        // deterministic; both are re-collected after every accepted
+        // edit (accept() replaces current_ wholesale).
+        bool any = false;
+        std::size_t b = 0, s = 0;
+        for (;;) {
+            std::vector<Body *> blocks;
+            collectFunctionBlocks(current_, blocks);
+            if (b >= blocks.size())
+                break;
+            if (s >= blocks[b]->size()) {
+                ++b;
+                s = 0;
+                continue;
+            }
+            Program cand = current_.clone();
+            std::vector<Body *> candBlocks;
+            collectFunctionBlocks(cand, candBlocks);
+            Body &blk = *candBlocks[b];
+            blk.erase(blk.begin() + static_cast<std::ptrdiff_t>(s));
+            if (accept(std::move(cand)))
+                any = true;  // same (b, s) now names the next stmt
+            else
+                ++s;
+        }
+        return any;
+    }
+
+    bool
+    unwrapBlocks()
+    {
+        bool any = false;
+        std::size_t b = 0, s = 0;
+        for (;;) {
+            std::vector<Body *> blocks;
+            collectFunctionBlocks(current_, blocks);
+            if (b >= blocks.size())
+                break;
+            if (s >= blocks[b]->size()) {
+                ++b;
+                s = 0;
+                continue;
+            }
+            const Stmt &stmt = *(*blocks[b])[s];
+            if (stmt.kind != StmtKind::If &&
+                stmt.kind != StmtKind::While) {
+                ++s;
+                continue;
+            }
+            // Replace the construct with one of its bodies.
+            const bool hasElse = stmt.kind == StmtKind::If &&
+                                 !stmt.elseBody.empty();
+            bool took = false;
+            for (int variant = 0; variant < (hasElse ? 2 : 1);
+                 ++variant) {
+                Program cand = current_.clone();
+                std::vector<Body *> candBlocks;
+                collectFunctionBlocks(cand, candBlocks);
+                Body &blk = *candBlocks[b];
+                auto inner = std::move(variant ? blk[s]->elseBody
+                                               : blk[s]->body);
+                blk.erase(blk.begin() +
+                          static_cast<std::ptrdiff_t>(s));
+                blk.insert(blk.begin() +
+                               static_cast<std::ptrdiff_t>(s),
+                           std::make_move_iterator(inner.begin()),
+                           std::make_move_iterator(inner.end()));
+                if (accept(std::move(cand))) {
+                    any = true;
+                    took = true;
+                    break;  // the unwrapped stmts now sit at (b, s)
+                }
+            }
+            if (!took)
+                ++s;
+        }
+        return any;
+    }
+
+    bool
+    shrinkExpressions()
+    {
+        bool any = false;
+        for (std::size_t i = 0;; ++i) {
+            std::vector<std::unique_ptr<Expr> *> slots;
+            collectProgramExprSlots(current_, slots);
+            if (i >= slots.size())
+                break;
+            const Expr &e = **slots[i];
+            // Candidate replacements, cheapest first.
+            std::vector<std::unique_ptr<Expr>> repls;
+            if (!(e.kind == ExprKind::IntLit && e.value == 0))
+                repls.push_back(Expr::lit(0));
+            if (e.kind == ExprKind::Unary ||
+                e.kind == ExprKind::Index) {
+                repls.push_back(e.lhs->clone());
+            } else if (e.kind == ExprKind::Binary) {
+                repls.push_back(e.lhs->clone());
+                repls.push_back(e.rhs->clone());
+            } else if (e.kind == ExprKind::Call) {
+                for (const auto &a : e.args)
+                    repls.push_back(a->clone());
+            }
+            for (auto &repl : repls) {
+                Program cand = current_.clone();
+                std::vector<std::unique_ptr<Expr> *> candSlots;
+                collectProgramExprSlots(cand, candSlots);
+                *candSlots[i] = std::move(repl);
+                if (accept(std::move(cand))) {
+                    any = true;
+                    break;  // slots shifted; restart at this index
+                }
+            }
+        }
+        return any;
+    }
+
+    Program current_;
+    const FailurePredicate &pred_;
+    unsigned maxTests_;
+    unsigned tests_ = 0;
+    unsigned rounds_ = 0;
+};
+
+} // namespace
+
+MinimizeResult
+minimize(const Program &start, const FailurePredicate &stillFails,
+         unsigned maxTests)
+{
+    return Minimizer(start, stillFails, maxTests).run();
+}
+
+} // namespace risc1::lang

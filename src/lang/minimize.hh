@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Failure minimizer: shrink an RL program while a caller-supplied
+ * predicate (typically "the differential harness still disagrees")
+ * keeps holding.
+ *
+ * The shrinker is predicate-driven so it is unit-testable without a
+ * real miscompile: tests pass synthetic predicates ("still contains a
+ * while") and check the result is the minimal fixed point.  Every
+ * candidate edit is validity-gated through programValid() before the
+ * predicate sees it, so predicates may assume a well-formed program —
+ * exactly what diffProgram() requires.
+ *
+ * Strategy: greedy fixed-point over structural passes —
+ *   1. drop whole functions and globals,
+ *   2. delete statements (in every block, innermost first),
+ *   3. unwrap if/while bodies into their parent block,
+ *   4. hoist subexpressions over their parent operator,
+ *   5. collapse expressions to the literal 0.
+ * Each accepted edit strictly reduces programNodes(), so termination
+ * is by measure; rounds repeat until a full sweep accepts nothing.
+ */
+
+#ifndef RISC1_LANG_MINIMIZE_HH
+#define RISC1_LANG_MINIMIZE_HH
+
+#include <functional>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/** Returns true while the candidate still reproduces the failure. */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+struct MinimizeResult
+{
+    Program program;     ///< smallest failing program found
+    unsigned rounds = 0; ///< full sweeps performed
+    unsigned tests = 0;  ///< predicate evaluations spent
+};
+
+/**
+ * Shrink @p start while @p stillFails holds.  @p start itself must
+ * satisfy the predicate (fatal otherwise — a repro that does not
+ * reproduce).  @p maxTests bounds predicate spend for pathological
+ * cases; the best-so-far program is returned when it runs out.
+ */
+MinimizeResult minimize(const Program &start,
+                        const FailurePredicate &stillFails,
+                        unsigned maxTests = 2000);
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_MINIMIZE_HH

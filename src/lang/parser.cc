@@ -1,0 +1,590 @@
+#include "lang/parser.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "lang/lexer.hh"
+
+namespace risc1::lang {
+
+namespace {
+
+bool
+powerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source) : toks_(lexLang(source)) {}
+
+    Program
+    parse()
+    {
+        Program program;
+        while (peek().kind != Tok::End) {
+            expectKeyword("int");
+            const Token nameTok = expect(Tok::Ident, "name");
+            if (peek().kind == Tok::LParen)
+                program.functions.push_back(parseFunction(nameTok.text));
+            else
+                program.globals.push_back(parseGlobal(nameTok));
+        }
+        return program;
+    }
+
+  private:
+    const Token &
+    peek(std::size_t ahead = 0) const
+    {
+        const std::size_t i = pos_ + ahead;
+        return toks_[i < toks_.size() ? i : toks_.size() - 1];
+    }
+
+    Token
+    get()
+    {
+        Token t = peek();
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    [[noreturn]] void
+    err(const Token &at, const std::string &msg)
+    {
+        fatal(cat("lang line ", at.line, ": ", msg));
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (peek().kind != kind)
+            err(peek(), cat("expected ", what, ", got ",
+                            peek().kind == Tok::Ident
+                                ? cat("'", peek().text, "'")
+                                : tokName(peek().kind)));
+        return get();
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind != kind)
+            return false;
+        get();
+        return true;
+    }
+
+    bool
+    peekKeyword(const char *kw, std::size_t ahead = 0) const
+    {
+        return peek(ahead).kind == Tok::Ident && peek(ahead).text == kw;
+    }
+
+    void
+    expectKeyword(const char *kw)
+    {
+        if (!peekKeyword(kw))
+            err(peek(), cat("expected '", kw, "'"));
+        get();
+    }
+
+    GlobalDecl
+    parseGlobal(const Token &nameTok)
+    {
+        GlobalDecl g;
+        g.name = nameTok.text;
+        if (accept(Tok::LBracket)) {
+            const Token size = expect(Tok::Number, "array size");
+            expect(Tok::RBracket, "']'");
+            g.isArray = true;
+            g.size = size.value;
+            if (!powerOfTwo(g.size) || g.size < 2 ||
+                g.size > kMaxArraySize)
+                err(nameTok,
+                    cat("array '", g.name, "' size ", g.size,
+                        " must be a power of two in [2, ", kMaxArraySize,
+                        "]"));
+        } else if (accept(Tok::Assign)) {
+            bool negate = accept(Tok::Minus);
+            const Token init = expect(Tok::Number, "initializer");
+            g.init = negate ? 0u - init.value : init.value;
+        }
+        expect(Tok::Semi, "';'");
+        return g;
+    }
+
+    Function
+    parseFunction(const std::string &name)
+    {
+        Function f;
+        f.name = name;
+        expect(Tok::LParen, "'('");
+        if (!accept(Tok::RParen)) {
+            do {
+                expectKeyword("int");
+                f.params.push_back(expect(Tok::Ident, "parameter").text);
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        f.body = parseBlock(/*outer=*/true);
+        return f;
+    }
+
+    std::vector<std::unique_ptr<Stmt>>
+    parseBlock(bool outer)
+    {
+        expect(Tok::LBrace, "'{'");
+        std::vector<std::unique_ptr<Stmt>> body;
+        while (!accept(Tok::RBrace))
+            body.push_back(parseStmt(outer));
+        return body;
+    }
+
+    std::unique_ptr<Stmt>
+    parseStmt(bool outer)
+    {
+        auto s = std::make_unique<Stmt>();
+        const Token &t = peek();
+        if (t.kind != Tok::Ident)
+            err(t, cat("expected a statement, got ", tokName(t.kind)));
+
+        if (t.text == "int") {
+            if (!outer)
+                err(t, "locals must be declared in the outermost "
+                       "function block");
+            get();
+            s->kind = StmtKind::Local;
+            s->name = expect(Tok::Ident, "local name").text;
+            expect(Tok::Assign, "'='");
+            s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (t.text == "if") {
+            get();
+            s->kind = StmtKind::If;
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->body = parseBlock(false);
+            if (peekKeyword("else")) {
+                get();
+                s->elseBody = parseBlock(false);
+            }
+            return s;
+        }
+        if (t.text == "while") {
+            get();
+            s->kind = StmtKind::While;
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->body = parseBlock(false);
+            return s;
+        }
+        if (t.text == "return") {
+            get();
+            s->kind = StmtKind::Return;
+            s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (t.text == "out") {
+            get();
+            s->kind = StmtKind::Out;
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+
+        // Assignment, array store, or a bare call.
+        const Token name = get();
+        if (accept(Tok::LBracket)) {
+            s->kind = StmtKind::Store;
+            s->name = name.text;
+            s->index = parseExpr();
+            expect(Tok::RBracket, "']'");
+            expect(Tok::Assign, "'='");
+            s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (accept(Tok::Assign)) {
+            s->kind = StmtKind::Assign;
+            s->name = name.text;
+            s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (peek().kind == Tok::LParen) {
+            s->kind = StmtKind::ExprStmt;
+            s->expr = parseCall(name);
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        err(name, cat("expected '=', '[', or '(' after '", name.text,
+                      "'"));
+    }
+
+    std::unique_ptr<Expr>
+    parseCall(const Token &name)
+    {
+        expect(Tok::LParen, "'('");
+        std::vector<std::unique_ptr<Expr>> args;
+        if (!accept(Tok::RParen)) {
+            do {
+                args.push_back(parseExpr());
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        return Expr::call(name.text, std::move(args));
+    }
+
+    // Precedence climbing; higher binds tighter.
+    static int
+    precedence(Tok t)
+    {
+        switch (t) {
+          case Tok::PipePipe: return 1;
+          case Tok::AmpAmp: return 2;
+          case Tok::Pipe: return 3;
+          case Tok::Caret: return 4;
+          case Tok::Amp: return 5;
+          case Tok::EqEq: case Tok::NotEq: return 6;
+          case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge:
+            return 7;
+          case Tok::Shl: case Tok::Shr: return 8;
+          case Tok::Plus: case Tok::Minus: return 9;
+          default: return 0;
+        }
+    }
+
+    static BinOp
+    binOpFor(Tok t)
+    {
+        switch (t) {
+          case Tok::PipePipe: return BinOp::LOr;
+          case Tok::AmpAmp: return BinOp::LAnd;
+          case Tok::Pipe: return BinOp::Or;
+          case Tok::Caret: return BinOp::Xor;
+          case Tok::Amp: return BinOp::And;
+          case Tok::EqEq: return BinOp::Eq;
+          case Tok::NotEq: return BinOp::Ne;
+          case Tok::Lt: return BinOp::Lt;
+          case Tok::Le: return BinOp::Le;
+          case Tok::Gt: return BinOp::Gt;
+          case Tok::Ge: return BinOp::Ge;
+          case Tok::Shl: return BinOp::Shl;
+          case Tok::Shr: return BinOp::Shr;
+          case Tok::Plus: return BinOp::Add;
+          case Tok::Minus: return BinOp::Sub;
+          default: panic("not a binary operator token");
+        }
+    }
+
+    std::unique_ptr<Expr>
+    parseExpr(int minPrec = 1)
+    {
+        auto lhs = parseUnary();
+        while (true) {
+            const Tok t = peek().kind;
+            const int prec = precedence(t);
+            if (prec < minPrec)
+                return lhs;
+            const Token opTok = get();
+            auto rhs = parseExpr(prec + 1);
+            const BinOp op = binOpFor(t);
+            if ((op == BinOp::Shl || op == BinOp::Shr) &&
+                (rhs->kind != ExprKind::IntLit || rhs->value > 31))
+                err(opTok, "shift count must be an integer literal "
+                           "0..31");
+            lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+        }
+    }
+
+    std::unique_ptr<Expr>
+    parseUnary()
+    {
+        if (accept(Tok::Minus))
+            return Expr::unary(UnOp::Neg, parseUnary());
+        if (accept(Tok::Tilde))
+            return Expr::unary(UnOp::Not, parseUnary());
+        if (accept(Tok::Bang))
+            return Expr::unary(UnOp::LNot, parseUnary());
+        return parsePrimary();
+    }
+
+    std::unique_ptr<Expr>
+    parsePrimary()
+    {
+        const Token &t = peek();
+        if (t.kind == Tok::Number) {
+            return Expr::lit(get().value);
+        }
+        if (t.kind == Tok::LParen) {
+            get();
+            auto e = parseExpr();
+            expect(Tok::RParen, "')'");
+            return e;
+        }
+        if (t.kind == Tok::Ident) {
+            const Token name = get();
+            if (peek().kind == Tok::LParen)
+                return parseCall(name);
+            if (accept(Tok::LBracket)) {
+                auto idx = parseExpr();
+                expect(Tok::RBracket, "']'");
+                return Expr::index(name.text, std::move(idx));
+            }
+            // Var vs Global is resolved by the checker; parse as Var.
+            return Expr::var(name.text);
+        }
+        err(t, cat("expected an expression, got ", tokName(t.kind)));
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Semantic checker.  Also canonicalizes Var vs Global references:
+ * a name that is not a param/local of the enclosing function but is a
+ * global scalar becomes ExprKind::Global.
+ */
+class Checker
+{
+  public:
+    explicit Checker(const Program &program) : program_(program) {}
+
+    void
+    check()
+    {
+        std::set<std::string> names;
+        for (const auto &g : program_.globals) {
+            if (!names.insert(g.name).second)
+                fatal(cat("lang: duplicate global '", g.name, "'"));
+            if (g.isArray &&
+                (!powerOfTwo(g.size) || g.size < 2 ||
+                 g.size > kMaxArraySize))
+                fatal(cat("lang: array '", g.name,
+                          "' size must be a power of two in [2, ",
+                          kMaxArraySize, "]"));
+        }
+        std::set<std::string> funcNames;
+        for (const auto &f : program_.functions) {
+            if (!funcNames.insert(f.name).second)
+                fatal(cat("lang: duplicate function '", f.name, "'"));
+            if (names.count(f.name))
+                fatal(cat("lang: function '", f.name,
+                          "' collides with a global"));
+        }
+        const int mainIdx = program_.findFunction("main");
+        if (mainIdx < 0)
+            fatal("lang: program has no 'main' function");
+        if (!program_.functions[mainIdx].params.empty())
+            fatal("lang: 'main' must take no parameters");
+
+        for (const auto &f : program_.functions)
+            checkFunction(f);
+    }
+
+  private:
+    void
+    checkFunction(const Function &f)
+    {
+        if (f.params.size() > kMaxParams)
+            fatal(cat("lang: function '", f.name, "' has ",
+                      f.params.size(), " parameters (max ", kMaxParams,
+                      ")"));
+        vars_.clear();
+        for (const auto &p : f.params) {
+            if (!vars_.insert(p).second)
+                fatal(cat("lang: duplicate parameter '", p, "' in '",
+                          f.name, "'"));
+            if (program_.findGlobal(p) >= 0)
+                fatal(cat("lang: parameter '", p, "' shadows a global"));
+        }
+        unsigned locals = 0;
+        countLocals(f.body, locals);
+        if (locals > kMaxLocals)
+            fatal(cat("lang: function '", f.name, "' declares ", locals,
+                      " locals (max ", kMaxLocals, ")"));
+        checkBody(f, f.body);
+    }
+
+    void
+    countLocals(const std::vector<std::unique_ptr<Stmt>> &body,
+                unsigned &locals)
+    {
+        for (const auto &s : body)
+            if (s->kind == StmtKind::Local)
+                ++locals;
+    }
+
+    void
+    checkBody(const Function &f,
+              const std::vector<std::unique_ptr<Stmt>> &body)
+    {
+        for (const auto &s : body)
+            checkStmt(f, *s);
+    }
+
+    void
+    checkStmt(const Function &f, const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Local:
+            if (vars_.count(s.name))
+                fatal(cat("lang: duplicate local '", s.name, "' in '",
+                          f.name, "'"));
+            if (program_.findGlobal(s.name) >= 0)
+                fatal(cat("lang: local '", s.name,
+                          "' shadows a global"));
+            vars_.insert(s.name);
+            checkExpr(f, *s.expr);
+            break;
+          case StmtKind::Assign: {
+            checkExpr(f, *s.expr);
+            if (vars_.count(s.name))
+                break;
+            const int g = program_.findGlobal(s.name);
+            if (g < 0)
+                fatal(cat("lang: assignment to undeclared name '",
+                          s.name, "' in '", f.name, "'"));
+            if (program_.globals[static_cast<std::size_t>(g)].isArray)
+                fatal(cat("lang: array '", s.name,
+                          "' assigned without an index"));
+            break;
+          }
+          case StmtKind::Store: {
+            const int g = program_.findGlobal(s.name);
+            if (g < 0 ||
+                !program_.globals[static_cast<std::size_t>(g)].isArray)
+                fatal(cat("lang: '", s.name, "' is not a global array"));
+            checkExpr(f, *s.index);
+            checkExpr(f, *s.expr);
+            break;
+          }
+          case StmtKind::If:
+            checkExpr(f, *s.expr);
+            checkBody(f, s.body);
+            checkBody(f, s.elseBody);
+            break;
+          case StmtKind::While:
+            checkExpr(f, *s.expr);
+            checkBody(f, s.body);
+            break;
+          case StmtKind::Return:
+          case StmtKind::Out:
+            checkExpr(f, *s.expr);
+            break;
+          case StmtKind::ExprStmt:
+            if (s.expr->kind != ExprKind::Call)
+                fatal(cat("lang: expression statement in '", f.name,
+                          "' must be a call"));
+            checkExpr(f, *s.expr);
+            break;
+        }
+    }
+
+    void
+    checkExpr(const Function &f, Expr &e) const
+    {
+        // The checker canonicalizes Var -> Global in place, so accept
+        // a mutable node from the const tree we were handed: the
+        // rewrite is idempotent and semantics-preserving.
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            break;
+          case ExprKind::Var: {
+            if (vars_.count(e.name))
+                break;
+            const int g = program_.findGlobal(e.name);
+            if (g < 0)
+                fatal(cat("lang: undeclared name '", e.name, "' in '",
+                          f.name, "'"));
+            if (program_.globals[static_cast<std::size_t>(g)].isArray)
+                fatal(cat("lang: array '", e.name,
+                          "' used without an index"));
+            e.kind = ExprKind::Global;
+            break;
+          }
+          case ExprKind::Global:
+            if (program_.findGlobal(e.name) < 0)
+                fatal(cat("lang: undeclared global '", e.name, "'"));
+            break;
+          case ExprKind::Index: {
+            const int g = program_.findGlobal(e.name);
+            if (g < 0 ||
+                !program_.globals[static_cast<std::size_t>(g)].isArray)
+                fatal(cat("lang: '", e.name, "' is not a global array"));
+            checkExpr(f, *e.lhs);
+            break;
+          }
+          case ExprKind::Unary:
+            checkExpr(f, *e.lhs);
+            break;
+          case ExprKind::Binary:
+            if ((e.binop == BinOp::Shl || e.binop == BinOp::Shr) &&
+                (e.rhs->kind != ExprKind::IntLit || e.rhs->value > 31))
+                fatal("lang: shift count must be an integer literal "
+                      "0..31");
+            checkExpr(f, *e.lhs);
+            checkExpr(f, *e.rhs);
+            break;
+          case ExprKind::Call: {
+            const int fn = program_.findFunction(e.name);
+            if (fn < 0)
+                fatal(cat("lang: call to undefined function '", e.name,
+                          "'"));
+            const auto &callee =
+                program_.functions[static_cast<std::size_t>(fn)];
+            if (callee.params.size() != e.args.size())
+                fatal(cat("lang: call to '", e.name, "' passes ",
+                          e.args.size(), " arguments, expects ",
+                          callee.params.size()));
+            for (const auto &a : e.args)
+                checkExpr(f, *a);
+            break;
+          }
+        }
+    }
+
+    const Program &program_;
+    std::set<std::string> vars_;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &source)
+{
+    Program program = Parser(source).parse();
+    checkProgram(program);
+    return program;
+}
+
+void
+checkProgram(const Program &program)
+{
+    Checker(program).check();
+}
+
+bool
+programValid(const Program &program)
+{
+    try {
+        checkProgram(program);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace risc1::lang

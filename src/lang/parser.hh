@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Recursive-descent parser and semantic checker for the RL mini
+ * language (grammar in docs/LANG.md).
+ *
+ * Language rules enforced here (so every backend and the interpreter
+ * can assume them):
+ *  - `main` exists and takes no parameters;
+ *  - function and global names are unique; locals are function-scoped
+ *    and unique within their function (params included);
+ *  - at most kMaxParams parameters and kMaxLocals locals per function;
+ *  - global array sizes are powers of two within kMaxArraySize
+ *    (indices are masked with size-1, making every access in-bounds by
+ *    construction);
+ *  - shift counts are integer literals 0..31 (both ISAs then lower
+ *    shifts with static masks);
+ *  - calls name defined functions with matching arity (recursion is
+ *    legal — termination is the program's business, bounded by the
+ *    interpreter/simulator step fuses).
+ *
+ * All locals are zero at function entry on every implementation
+ * (interpreter and both backends), so there is no "uninitialized
+ * read" divergence by construction.
+ */
+
+#ifndef RISC1_LANG_PARSER_HH
+#define RISC1_LANG_PARSER_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/**
+ * Parse and semantically check @p source.  @throws FatalError with a
+ * line number on syntax errors, and with the offending name on
+ * semantic errors.
+ */
+Program parseProgram(const std::string &source);
+
+/**
+ * Re-run the semantic checks on an in-memory tree (the minimizer
+ * mutates ASTs and must discard candidates that broke the rules).
+ * @throws FatalError on violation.
+ */
+void checkProgram(const Program &program);
+
+/** Non-throwing checkProgram. */
+bool programValid(const Program &program);
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_PARSER_HH

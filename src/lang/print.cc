@@ -1,0 +1,208 @@
+#include "lang/print.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace risc1::lang {
+
+namespace {
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::LOr: return "||";
+      case BinOp::LAnd: return "&&";
+      case BinOp::Or: return "|";
+      case BinOp::Xor: return "^";
+      case BinOp::And: return "&";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+    }
+    return "?";
+}
+
+const char *
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Neg: return "-";
+      case UnOp::Not: return "~";
+      case UnOp::LNot: return "!";
+    }
+    return "?";
+}
+
+// Fully parenthesized rendering keeps the round trip trivial: every
+// composite subexpression prints inside its own parentheses, so
+// re-parsing rebuilds the identical tree shape.
+void
+renderExpr(std::ostream &os, const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        os << e.value;
+        return;
+      case ExprKind::Var:
+      case ExprKind::Global:
+        os << e.name;
+        return;
+      case ExprKind::Index:
+        os << e.name << "[";
+        renderExpr(os, *e.lhs);
+        os << "]";
+        return;
+      case ExprKind::Unary:
+        os << unOpName(e.unop);
+        if (e.lhs->kind == ExprKind::Binary) {
+            os << "(";
+            renderExpr(os, *e.lhs);
+            os << ")";
+        } else {
+            renderExpr(os, *e.lhs);
+        }
+        return;
+      case ExprKind::Binary:
+        os << "(";
+        renderExpr(os, *e.lhs);
+        os << " " << binOpName(e.binop) << " ";
+        renderExpr(os, *e.rhs);
+        os << ")";
+        return;
+      case ExprKind::Call:
+        os << e.name << "(";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            renderExpr(os, *e.args[i]);
+        }
+        os << ")";
+        return;
+    }
+    panic("bad expression kind");
+}
+
+void
+renderBody(std::ostream &os,
+           const std::vector<std::unique_ptr<Stmt>> &body, int depth);
+
+void
+renderStmt(std::ostream &os, const Stmt &s, int depth)
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    os << pad;
+    switch (s.kind) {
+      case StmtKind::Local:
+        os << "int " << s.name << " = ";
+        renderExpr(os, *s.expr);
+        os << ";\n";
+        return;
+      case StmtKind::Assign:
+        os << s.name << " = ";
+        renderExpr(os, *s.expr);
+        os << ";\n";
+        return;
+      case StmtKind::Store:
+        os << s.name << "[";
+        renderExpr(os, *s.index);
+        os << "] = ";
+        renderExpr(os, *s.expr);
+        os << ";\n";
+        return;
+      case StmtKind::If:
+        os << "if (";
+        renderExpr(os, *s.expr);
+        os << ") {\n";
+        renderBody(os, s.body, depth + 1);
+        os << pad << "}";
+        if (!s.elseBody.empty()) {
+            os << " else {\n";
+            renderBody(os, s.elseBody, depth + 1);
+            os << pad << "}";
+        }
+        os << "\n";
+        return;
+      case StmtKind::While:
+        os << "while (";
+        renderExpr(os, *s.expr);
+        os << ") {\n";
+        renderBody(os, s.body, depth + 1);
+        os << pad << "}\n";
+        return;
+      case StmtKind::Return:
+        os << "return ";
+        renderExpr(os, *s.expr);
+        os << ";\n";
+        return;
+      case StmtKind::Out:
+        os << "out(";
+        renderExpr(os, *s.expr);
+        os << ");\n";
+        return;
+      case StmtKind::ExprStmt:
+        renderExpr(os, *s.expr);
+        os << ";\n";
+        return;
+    }
+    panic("bad statement kind");
+}
+
+void
+renderBody(std::ostream &os,
+           const std::vector<std::unique_ptr<Stmt>> &body, int depth)
+{
+    for (const auto &s : body)
+        renderStmt(os, *s, depth);
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &expr)
+{
+    std::ostringstream os;
+    renderExpr(os, expr);
+    return os.str();
+}
+
+std::string
+printProgram(const Program &program)
+{
+    std::ostringstream os;
+    for (const auto &g : program.globals) {
+        os << "int " << g.name;
+        if (g.isArray)
+            os << "[" << g.size << "]";
+        else if (g.init != 0)
+            os << " = " << g.init;
+        os << ";\n";
+    }
+    if (!program.globals.empty())
+        os << "\n";
+    for (std::size_t i = 0; i < program.functions.size(); ++i) {
+        const auto &f = program.functions[i];
+        if (i)
+            os << "\n";
+        os << "int " << f.name << "(";
+        for (std::size_t p = 0; p < f.params.size(); ++p) {
+            if (p)
+                os << ", ";
+            os << "int " << f.params[p];
+        }
+        os << ") {\n";
+        renderBody(os, f.body, 1);
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace risc1::lang

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Render an RL AST back to source text.  The printer is the
+ * generator's output format (riscgen emits printed trees), the
+ * minimizer's repro format, and the corpus round-trip invariant:
+ * `print(parse(print(ast))) == print(ast)` for every valid tree.
+ */
+
+#ifndef RISC1_LANG_PRINT_HH
+#define RISC1_LANG_PRINT_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+
+namespace risc1::lang {
+
+/** Render a whole program as parseable RL source. */
+std::string printProgram(const Program &program);
+
+/** Render one expression (diagnostics and tests). */
+std::string printExpr(const Expr &expr);
+
+} // namespace risc1::lang
+
+#endif // RISC1_LANG_PRINT_HH

@@ -80,8 +80,12 @@ materialize(const RawJob &raw, std::size_t jobIndex,
     job.id = cat("job", jobIndex);
 
     // The backend decides which source a workload contributes, so
-    // resolve it first regardless of key order.
+    // resolve it first regardless of key order.  Remember the line of
+    // the 'workload'/'file' entry itself: resolution errors (unknown
+    // workload, unopenable path) must point at the offending key, not
+    // at the [job] header.
     std::string workload, file;
+    int workloadLine = raw.line, fileLine = raw.line;
     for (const auto &[key, value, line] : raw.entries) {
         if (key == "machine") {
             try {
@@ -101,8 +105,10 @@ materialize(const RawJob &raw, std::size_t jobIndex,
             job.id = value;
         } else if (key == "workload") {
             workload = value;
+            workloadLine = line;
         } else if (key == "file") {
             file = value;
+            fileLine = line;
         } else if (key == "windows") {
             job.config.risc.windows.numWindows = static_cast<unsigned>(
                 parseUint(value, line, key));
@@ -145,17 +151,21 @@ materialize(const RawJob &raw, std::size_t jobIndex,
                   "'file'"));
 
     if (!workload.empty()) {
-        const Workload &w = findWorkload(workload);
-        job.source = target::workloadSource(job.backend, w);
-        if (!job.expected)
-            job.expected = w.expected;
+        try {
+            const Workload &w = findWorkload(workload);
+            job.source = target::workloadSource(job.backend, w);
+            if (!job.expected)
+                job.expected = w.expected;
+        } catch (const FatalError &e) {
+            fatal(cat("job file line ", workloadLine, ": ", e.what()));
+        }
     } else {
         std::filesystem::path p(file);
         if (p.is_relative() && !baseDir.empty())
             p = std::filesystem::path(baseDir) / p;
         std::ifstream in(p);
         if (!in)
-            fatal(cat("job file line ", raw.line,
+            fatal(cat("job file line ", fileLine,
                       ": cannot open assembly file ", p.string()));
         std::ostringstream text;
         text << in.rdbuf();

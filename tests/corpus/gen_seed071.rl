@@ -1,0 +1,39 @@
+int s0 = 4294967281;
+int s1 = 4294967281;
+int a0[8];
+
+int main() {
+  int v0 = a0[4294967295];
+  v0 = f3();
+  a0[f1(s1)] = ((4294967295 - s0) < (s0 > v0));
+  v0 = (a0[29] | (2147483647 & v0));
+  a0[(11 && v0)] = -a0[s0];
+  return ((s0 > 68) ^ (23 > 15));
+}
+
+int f1(int p0) {
+  int v0 = (s0 || p0);
+  s1 = -((2147483647 + 61));
+  return ((s1 >= 42) || !18);
+}
+
+int f2(int p0, int p1) {
+  int v0 = (99 > p0);
+  out(((s1 <= s0) != (v0 >> 16)));
+  return a0[(s1 + v0)];
+  s0 = f3();
+  return (f3() < (0 | p0));
+}
+
+int f3() {
+  int v0 = ~2147483648;
+  int c0 = 0;
+  int c1 = 0;
+  c0 = 0;
+  while ((c0 < 6)) {
+    out(((v0 - 49) + a0[c0]));
+    out(((c1 >= c0) != ~45));
+    c0 = (c0 + 1);
+  }
+  return ((66 & c0) << 21);
+}

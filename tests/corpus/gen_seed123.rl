@@ -1,0 +1,27 @@
+int s0 = 42;
+int a0[4];
+int a1[8];
+
+int main() {
+  int v0 = (0 <= 8);
+  int c0 = 0;
+  v0 = ((32 - 62) ^ a1[4294967289]);
+  return ((32 ^ 1) >> 4);
+}
+
+int f1(int p0) {
+  int v0 = (p0 > 4294967289);
+  int v1 = (1 << 27);
+  v0 = (f2(26) && (s0 & p0));
+  f2((s0 << 31));
+  return ~~4294967292;
+}
+
+int f2(int p0) {
+  int v0 = -25;
+  int v1 = a1[v0];
+  if (((4294967295 >= s0) <= a0[83])) {
+    return ((2147483647 & v1) ^ (s0 & v0));
+  }
+  return a1[(v1 & 4294967288)];
+}

@@ -1,0 +1,22 @@
+// Fill a global array with wrapping shift-and-add values, then fold
+// it twice (sum and xor) — checks the shared data layout end to end.
+int a[16];
+int sum = 0;
+int mix = 0;
+
+int main() {
+  int i = 0;
+  while ((i < 16)) {
+    a[i] = (((i << 30) - i) + (i << 4));
+    i = (i + 1);
+  }
+  i = 0;
+  while ((i < 16)) {
+    sum = (sum + a[i]);
+    mix = (mix ^ (a[i] >> 3));
+    i = (i + 1);
+  }
+  out(sum);
+  out(mix);
+  return (sum ^ mix);
+}

@@ -1,0 +1,17 @@
+// Recursive Fibonacci: deep call tree, exercises RISC I window
+// overflow/underflow against VAX CALLS frames.
+int calls = 0;
+
+int fib(int n) {
+  calls = (calls + 1);
+  if ((n < 2)) {
+    return n;
+  }
+  return (fib((n - 1)) + fib((n - 2)));
+}
+
+int main() {
+  out(fib(12));
+  out(calls);
+  return fib(10);
+}

@@ -1,0 +1,25 @@
+// Subtraction-form Euclid inside a bounded while; out() traces each
+// iteration so the trace order must match across backends.
+int steps = 0;
+
+int gcd(int a, int b) {
+  int guard = 0;
+  while (((a != b) && (guard < 64))) {
+    if ((a > b)) {
+      a = (a - b);
+    } else {
+      b = (b - a);
+    }
+    steps = (steps + 1);
+    guard = (guard + 1);
+    out(a);
+  }
+  return a;
+}
+
+int main() {
+  int r = gcd(1071, 462);
+  out(r);
+  out(steps);
+  return (r + gcd(35, 14));
+}

@@ -1,0 +1,19 @@
+// Shift and mask edges: sign-bit shifts, logical-right of negative
+// values, and boundary literals on both sides of 2^31.
+int acc = 0;
+
+int main() {
+  acc = (-1 >> 1);
+  out(acc);
+  acc = (acc + (1 << 31));
+  out(acc);
+  acc = (acc ^ (-2147483648 >> 31));
+  out(acc);
+  acc = (acc + (2147483647 << 1));
+  out(acc);
+  acc = (acc | (85 & 51));
+  acc = (acc - (0 >> 0));
+  out((acc < 0));
+  out((acc >= 0));
+  return acc;
+}

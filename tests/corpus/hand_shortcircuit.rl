@@ -1,0 +1,19 @@
+// Short-circuit evaluation order: tick() has a side effect, so the
+// out() trace proves which operands each backend actually evaluated.
+int ticks = 0;
+
+int tick(int v) {
+  ticks = (ticks + 1);
+  out(v);
+  return v;
+}
+
+int main() {
+  int r = 0;
+  r = (tick(0) && tick(1));
+  r = (r + (tick(2) || tick(3)));
+  r = (r + (tick(0) || tick(0)));
+  r = (r + (tick(5) && tick(0)));
+  out(ticks);
+  return (r + ticks);
+}

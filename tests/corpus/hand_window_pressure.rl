@@ -1,0 +1,21 @@
+// Linear recursion 40 deep: far past the RISC I register file's
+// window count, so every level past the first few spills and refills
+// through the overflow/underflow path while VAX just grows its stack.
+int depth = 0;
+
+int sink(int n, int acc) {
+  if ((n <= 0)) {
+    return acc;
+  }
+  if ((n > depth)) {
+    depth = n;
+  }
+  return sink((n - 1), (((acc << 1) + acc) + n));
+}
+
+int main() {
+  int r = sink(40, 1);
+  out(r);
+  out(depth);
+  return (r ^ sink(7, 0));
+}

@@ -11,6 +11,8 @@
 #include "codegen/expr.hh"
 #include "common/logging.hh"
 #include "core/machine.hh"
+#include "target/registry.hh"
+#include "target/target.hh"
 #include "vax/vassembler.hh"
 #include "vax/vmachine.hh"
 
@@ -35,12 +37,43 @@ runVaxExpr(const ExprNode &node, const std::vector<std::uint32_t> &vars)
     return m.reg(0);
 }
 
+/**
+ * Run the compiled expression on every Target configuration — both
+ * backends through both the step() reference path and the predecoded
+ * fast path — and require the native reference value from each.  The
+ * direct Machine/VaxMachine helpers above only cover one tier each;
+ * this closes the gap for every expression case in the file.
+ */
+void
+expectEveryTargetAgrees(const ExprNode &node,
+                        const std::vector<std::uint32_t> &vars)
+{
+    const std::uint32_t expect = evalExprTree(node, vars);
+    for (const char *backend : {"risc", "vax"}) {
+        const std::string source = backend == std::string("risc")
+                                       ? compileExprRisc(node, vars)
+                                       : compileExprVax(node, vars);
+        for (const bool fast : {false, true}) {
+            auto t = target::makeTarget(backend);
+            t->load(source);
+            const RunOutcome outcome = t->run(1'000'000, fast);
+            ASSERT_TRUE(outcome.halted)
+                << backend << (fast ? "/fast" : "/step") << " hung: "
+                << exprToString(node);
+            EXPECT_EQ(t->checksum(), expect)
+                << backend << (fast ? "/fast" : "/step") << ": "
+                << exprToString(node);
+        }
+    }
+}
+
 TEST(Codegen, ConstantsFlowThrough)
 {
     const auto node = ExprNode::constant(0xdeadbeef);
     const std::vector<std::uint32_t> vars;
     EXPECT_EQ(runRiscExpr(*node, vars), 0xdeadbeefu);
     EXPECT_EQ(runVaxExpr(*node, vars), 0xdeadbeefu);
+    expectEveryTargetAgrees(*node, vars);
 }
 
 TEST(Codegen, VariablesLoadFromTable)
@@ -49,6 +82,7 @@ TEST(Codegen, VariablesLoadFromTable)
     const std::vector<std::uint32_t> vars = {10, 20, 30, 40};
     EXPECT_EQ(runRiscExpr(*node, vars), 30u);
     EXPECT_EQ(runVaxExpr(*node, vars), 30u);
+    expectEveryTargetAgrees(*node, vars);
 }
 
 TEST(Codegen, EachOperatorMatchesReference)
@@ -64,6 +98,7 @@ TEST(Codegen, EachOperatorMatchesReference)
             << exprToString(*node);
         EXPECT_EQ(runVaxExpr(*node, vars), expect)
             << exprToString(*node);
+        expectEveryTargetAgrees(*node, vars);
     }
     for (const unsigned k : {0u, 1u, 5u, 7u}) {
         for (const ExprOp op : {ExprOp::Shl, ExprOp::Shr}) {
@@ -74,6 +109,7 @@ TEST(Codegen, EachOperatorMatchesReference)
                 << exprToString(*node);
             EXPECT_EQ(runVaxExpr(*node, vars), expect)
                 << exprToString(*node);
+            expectEveryTargetAgrees(*node, vars);
         }
     }
 }
@@ -87,6 +123,7 @@ TEST(Codegen, ShrIsLogicalOnNegativeValues)
         ExprOp::Shr, ExprNode::variable(0), ExprNode::constant(4));
     EXPECT_EQ(runRiscExpr(*node, vars), 0x0ffff000u);
     EXPECT_EQ(runVaxExpr(*node, vars), 0x0ffff000u);
+    expectEveryTargetAgrees(*node, vars);
 }
 
 TEST(Codegen, TooDeepTreeRejected)
@@ -134,6 +171,7 @@ TEST_P(CodegenDifferential, RandomTreesAgreeOnBothIsas)
             << "RISC mismatch: " << exprToString(*node);
         ASSERT_EQ(runVaxExpr(*node, vars), expect)
             << "CISC mismatch: " << exprToString(*node);
+        expectEveryTargetAgrees(*node, vars);
     }
 }
 

@@ -112,6 +112,12 @@ TEST(GoldenTables, CodeSize)
     checkGolden("table_code_size", "table_code_size.txt");
 }
 
+TEST(GoldenTables, CodeSizeGenerated)
+{
+    checkGolden("table_code_size_generated",
+                "table_code_size_generated.txt");
+}
+
 TEST(GoldenTables, CallCost)
 {
     checkGolden("table_call_cost", "table_call_cost.txt");

@@ -1,0 +1,142 @@
+/**
+ * Tests for the RL failure minimizer using synthetic predicates —
+ * no real miscompile needed: a predicate like "still contains a
+ * while" stands in for "riscdiff still disagrees", and the shrinker
+ * must drive the program to a small fixed point where the predicate
+ * holds and every candidate edit would break it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "lang/gen.hh"
+#include "lang/interp.hh"
+#include "lang/minimize.hh"
+#include "lang/parser.hh"
+#include "lang/print.hh"
+
+namespace risc1::lang {
+namespace {
+
+bool
+containsStmt(const std::vector<std::unique_ptr<Stmt>> &body,
+             StmtKind kind)
+{
+    for (const auto &s : body) {
+        if (s->kind == kind)
+            return true;
+        if (containsStmt(s->body, kind) ||
+            containsStmt(s->elseBody, kind))
+            return true;
+    }
+    return false;
+}
+
+bool
+containsStmt(const Program &p, StmtKind kind)
+{
+    for (const auto &f : p.functions)
+        if (containsStmt(f.body, kind))
+            return true;
+    return false;
+}
+
+TEST(LangMinimize, ShrinksToTheSmallestWhileCarrier)
+{
+    const Program start = parseProgram(R"(
+        int g = 1;
+        int h = 2;
+        int a[8];
+        int helper(int x) {
+          return (x + g);
+        }
+        int main() {
+          int v0 = helper(3);
+          if ((v0 > 0)) {
+            a[v0] = (v0 ^ h);
+            out(a[2]);
+          }
+          while ((v0 < 10)) {
+            v0 = (v0 + 1);
+          }
+          return (v0 + helper(9));
+        }
+    )");
+    const FailurePredicate stillHasWhile =
+        [](const Program &p) {
+            return containsStmt(p, StmtKind::While);
+        };
+    const MinimizeResult r = minimize(start, stillHasWhile);
+    EXPECT_TRUE(stillHasWhile(r.program));
+    EXPECT_TRUE(programValid(r.program));
+    EXPECT_LT(programNodes(r.program), programNodes(start));
+    // Everything not needed to keep a while must be gone.
+    EXPECT_EQ(r.program.functions.size(), 1u);
+    EXPECT_TRUE(r.program.globals.empty());
+    EXPECT_FALSE(containsStmt(r.program, StmtKind::If));
+    EXPECT_GE(r.rounds, 1u);
+    EXPECT_GT(r.tests, 0u);
+}
+
+TEST(LangMinimize, KeepsOnlyTheNamedGlobal)
+{
+    const Program start = parseProgram(R"(
+        int keep = 7;
+        int junk1 = 1;
+        int junk2[4];
+        int main() {
+          junk1 = (junk1 + keep);
+          out(junk2[1]);
+          return junk1;
+        }
+    )");
+    const FailurePredicate keepExists = [](const Program &p) {
+        return p.findGlobal("keep") >= 0;
+    };
+    const MinimizeResult r = minimize(start, keepExists);
+    ASSERT_EQ(r.program.globals.size(), 1u);
+    EXPECT_EQ(r.program.globals[0].name, "keep");
+    EXPECT_TRUE(programValid(r.program));
+}
+
+TEST(LangMinimize, SemanticPredicateOnGeneratedProgram)
+{
+    // Shrink a sampled program while its oracle return value stays
+    // fixed — the closest synthetic stand-in for a real divergence.
+    const Program start = generateProgram(3);
+    const InterpResult ref = interpret(start);
+    ASSERT_TRUE(ref.ok);
+    const std::uint32_t want = ref.obs.ret;
+    const FailurePredicate sameRet = [want](const Program &p) {
+        const InterpResult r = interpret(p);
+        return r.ok && r.obs.ret == want;
+    };
+    const MinimizeResult r = minimize(start, sameRet);
+    EXPECT_TRUE(sameRet(r.program));
+    EXPECT_LE(programNodes(r.program), programNodes(start));
+}
+
+TEST(LangMinimize, RejectsANonReproducingStart)
+{
+    const Program start = parseProgram("int main() { return 0; }");
+    const FailurePredicate never = [](const Program &) {
+        return false;
+    };
+    EXPECT_THROW(minimize(start, never), FatalError);
+}
+
+TEST(LangMinimize, RespectsTheTestBudget)
+{
+    const Program start = generateProgram(9);
+    unsigned calls = 0;
+    const FailurePredicate counted = [&calls](const Program &) {
+        ++calls;
+        return true;
+    };
+    const MinimizeResult r = minimize(start, counted, 25);
+    EXPECT_LE(r.tests, 25u);
+    EXPECT_TRUE(programValid(r.program));
+}
+
+} // namespace
+} // namespace risc1::lang

@@ -340,6 +340,35 @@ TEST(JobFile, RejectsMalformedInput)
                  FatalError);
 }
 
+TEST(JobFile, ProgramResolutionErrorsNameTheOffendingKeyLine)
+{
+    // The [job] header sits on line 1; the bad keys sit further down.
+    // The error must point at the key's own line, not the header's.
+    const auto messageFor = [](const std::string &text) {
+        try {
+            sim::parseJobText(text);
+        } catch (const FatalError &e) {
+            return std::string(e.what());
+        }
+        ADD_FAILURE() << "expected FatalError for: " << text;
+        return std::string();
+    };
+
+    const std::string badPath = messageFor("[job]\n"
+                                           "id = a\n"
+                                           "maxsteps = 10\n"
+                                           "file = no/such/prog.s\n");
+    EXPECT_NE(badPath.find("line 4"), std::string::npos) << badPath;
+    EXPECT_NE(badPath.find("no/such/prog.s"), std::string::npos);
+
+    const std::string badWorkload = messageFor("[job]\n"
+                                               "\n"
+                                               "workload = no_such\n");
+    EXPECT_NE(badWorkload.find("line 3"), std::string::npos)
+        << badWorkload;
+    EXPECT_NE(badWorkload.find("no_such"), std::string::npos);
+}
+
 TEST(Engine, RunsSubmittedTasks)
 {
     sim::Engine engine(2, 16);
