@@ -5,7 +5,9 @@
  * commentary) registered here by name.  The riscbench driver
  * (riscbench.cc) dispatches `riscbench <name>`, `--list`, and `--all`
  * over this table; each entry's stdout is the experiment's published
- * table and is covered byte-for-byte by tests/test_golden_tables.cc.
+ * table, and the deterministic ones are covered byte-for-byte by
+ * tests/test_golden_tables.cc (timing experiments such as
+ * fig_fork_fanout gate themselves instead).
  */
 
 #ifndef RISC1_BENCH_EXPERIMENTS_HH
@@ -29,6 +31,7 @@ int runTableBaselineFamily();
 int runTableFetchTraffic();
 int runFigIcacheSweep();
 int runFigMemHierarchy();
+int runFigForkFanout();
 
 /** One registered experiment. @return 0 on success. */
 struct Experiment
@@ -77,6 +80,9 @@ inline constexpr Experiment kExperiments[] = {
     {"fig_mem_hierarchy",
      "X2: memory-hierarchy sweep on both backends",
      runFigMemHierarchy},
+    {"fig_fork_fanout",
+     "X3: snapshot fork fan-out, copy-on-write vs deep copy",
+     runFigForkFanout},
 };
 
 inline constexpr std::size_t kNumExperiments =

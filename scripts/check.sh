@@ -80,6 +80,17 @@ test -s "$BUILD/bench/out/BENCH_lang.json" || {
     echo "missing artifact: $BUILD/bench/out/BENCH_lang.json" >&2
     exit 1
 }
+# Fork fan-out gate (docs/MEMORY.md): the experiment itself fails if
+# the 10k-way copy-on-write fleet exceeds its fixed RSS budget or the
+# deep-copy baseline is less than 10x more expensive per fork.  Its
+# output is timing-dependent, so it is NOT golden-covered and its
+# artifact is never byte-compared.
+echo "-- riscbench fig_fork_fanout"
+(cd "$BUILD" && ./bench/riscbench fig_fork_fanout)
+test -s "$BUILD/bench/out/BENCH_fork.json" || {
+    echo "missing artifact: $BUILD/bench/out/BENCH_fork.json" >&2
+    exit 1
+}
 
 # Artifact-schema guard: bench artifacts are deterministic (no
 # metrics, no timestamps), so any byte drift from the checked-in

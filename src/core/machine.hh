@@ -168,7 +168,8 @@ struct MachineSnapshot
     std::vector<CallEvent> callTrace;
 
     // -- Memory and caches -----------------------------------------------
-    std::vector<MemoryPage> pages;
+    /** Shared-page view of the dirty contents (no bytes copied). */
+    MemoryImage pages;
     mem::HierarchySnapshot caches;
 
     /**

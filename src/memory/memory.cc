@@ -20,10 +20,36 @@ MemoryStats::writeJson(JsonWriter &w) const
         .endObject();
 }
 
+const std::shared_ptr<const Page> &
+Page::zero()
+{
+    static const PageRef page = std::make_shared<const Page>();
+    return page;
+}
+
+bool
+MemoryImage::Entry::operator==(const Entry &other) const
+{
+    if (base != other.base || length != other.length)
+        return false;
+    if (page == other.page)
+        return true;
+    if (!page || !other.page)
+        return false;
+    // Content equality: images from two independently-run machines
+    // hold distinct Page objects with (hopefully) identical bytes.
+    // Bytes past `length` are zero in any well-formed page, so
+    // comparing the valid prefix suffices.
+    return std::memcmp(page->bytes.data(), other.page->bytes.data(),
+                       length) == 0;
+}
+
 Memory::Memory(std::size_t size)
-    : data_(size, 0),
-      dirty_((size + pageBytes - 1) / pageBytes, false),
-      lineGen_((size + genLineBytes - 1) / genLineBytes, 0)
+    : size_(size),
+      pages_((size + pageBytes - 1) / pageBytes, Page::zero()),
+      owned_((size + pageBytes - 1) / pageBytes, 0),
+      pageGenBase_((size + pageBytes - 1) / pageBytes, 0),
+      lineGens_((size + pageBytes - 1) / pageBytes)
 {
     if (size == 0 || size % 4 != 0)
         fatal(cat("memory size must be a positive multiple of 4, got ",
@@ -36,10 +62,25 @@ Memory::check(std::uint32_t addr, unsigned bytes) const
     if (addr % bytes != 0)
         fatal(cat("misaligned ", bytes, "-byte access at address 0x",
                   std::hex, addr));
-    if (static_cast<std::size_t>(addr) + bytes > data_.size())
+    if (static_cast<std::size_t>(addr) + bytes > size_)
         fatal(cat("out-of-range ", std::dec, bytes,
                   "-byte access at address 0x", std::hex, addr,
-                  " (memory size 0x", data_.size(), ")"));
+                  " (memory size 0x", size_, ")"));
+}
+
+void
+Memory::materialize(std::size_t p)
+{
+    // If the last outside reference died since the page was shared
+    // out, this memory is the sole owner again and can mutate in
+    // place.  No race: a count of 1 means nobody else holds a handle
+    // to copy from.
+    if (pages_[p].use_count() == 1 && pages_[p] != Page::zero()) {
+        owned_[p] = 1;
+        return;
+    }
+    pages_[p] = std::make_shared<Page>(*pages_[p]); // copy-on-write
+    owned_[p] = 1;
 }
 
 std::uint32_t
@@ -48,7 +89,11 @@ Memory::readWord(std::uint32_t addr)
     check(addr, 4);
     ++stats_.reads;
     stats_.bytesRead += 4;
-    return peekWord(addr);
+    const std::uint8_t *b = ro(addr);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
 std::uint16_t
@@ -57,8 +102,8 @@ Memory::readHalf(std::uint32_t addr)
     check(addr, 2);
     ++stats_.reads;
     stats_.bytesRead += 2;
-    return static_cast<std::uint16_t>(data_[addr] |
-                                      (data_[addr + 1] << 8));
+    const std::uint8_t *b = ro(addr);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
 }
 
 std::uint8_t
@@ -67,7 +112,7 @@ Memory::readByte(std::uint32_t addr)
     check(addr, 1);
     ++stats_.reads;
     stats_.bytesRead += 1;
-    return data_[addr];
+    return *ro(addr);
 }
 
 void
@@ -85,9 +130,10 @@ Memory::writeHalf(std::uint32_t addr, std::uint16_t value)
     check(addr, 2);
     ++stats_.writes;
     stats_.bytesWritten += 2;
-    touch(addr, 2);
-    data_[addr] = static_cast<std::uint8_t>(value);
-    data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    bumpLines(addr, 2);
+    std::uint8_t *b = rw(addr);
+    b[0] = static_cast<std::uint8_t>(value);
+    b[1] = static_cast<std::uint8_t>(value >> 8);
 }
 
 void
@@ -96,8 +142,8 @@ Memory::writeByte(std::uint32_t addr, std::uint8_t value)
     check(addr, 1);
     ++stats_.writes;
     stats_.bytesWritten += 1;
-    touch(addr, 1);
-    data_[addr] = value;
+    bumpLines(addr, 1);
+    *rw(addr) = value;
 }
 
 std::uint32_t
@@ -105,7 +151,11 @@ Memory::fetchWord(std::uint32_t addr)
 {
     check(addr, 4);
     ++stats_.fetches;
-    return peekWord(addr);
+    const std::uint8_t *b = ro(addr);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
 std::uint8_t
@@ -113,102 +163,168 @@ Memory::fetchByte(std::uint32_t addr)
 {
     check(addr, 1);
     ++stats_.fetches;
-    return data_[addr];
+    return *ro(addr);
 }
 
 std::uint32_t
 Memory::peekWord(std::uint32_t addr) const
 {
     check(addr, 4);
-    return static_cast<std::uint32_t>(data_[addr]) |
-           (static_cast<std::uint32_t>(data_[addr + 1]) << 8) |
-           (static_cast<std::uint32_t>(data_[addr + 2]) << 16) |
-           (static_cast<std::uint32_t>(data_[addr + 3]) << 24);
+    const std::uint8_t *b = ro(addr);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
 std::uint8_t
 Memory::peekByte(std::uint32_t addr) const
 {
     check(addr, 1);
-    return data_[addr];
+    return *ro(addr);
 }
 
 void
 Memory::pokeWord(std::uint32_t addr, std::uint32_t value)
 {
     check(addr, 4);
-    touch(addr, 4);
-    data_[addr] = static_cast<std::uint8_t>(value);
-    data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
-    data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
-    data_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+    bumpLines(addr, 4);
+    std::uint8_t *b = rw(addr);
+    b[0] = static_cast<std::uint8_t>(value);
+    b[1] = static_cast<std::uint8_t>(value >> 8);
+    b[2] = static_cast<std::uint8_t>(value >> 16);
+    b[3] = static_cast<std::uint8_t>(value >> 24);
 }
 
 void
 Memory::pokeByte(std::uint32_t addr, std::uint8_t value)
 {
     check(addr, 1);
-    touch(addr, 1);
-    data_[addr] = value;
+    bumpLines(addr, 1);
+    *rw(addr) = value;
 }
 
 void
 Memory::load(std::uint32_t addr, const std::uint8_t *bytes,
              std::size_t count)
 {
-    if (static_cast<std::size_t>(addr) + count > data_.size())
+    if (static_cast<std::size_t>(addr) + count > size_)
         fatal(cat("loader: block of ", count, " bytes at 0x", std::hex,
                   addr, " exceeds memory"));
     if (count == 0)
         return;
-    touch(addr, count);
-    std::memcpy(data_.data() + addr, bytes, count);
+    bumpLines(addr, count);
+    // The only access allowed to span pages: copy page-sized chunks.
+    while (count > 0) {
+        const std::size_t chunk =
+            std::min<std::size_t>(count, pageBytes - addr % pageBytes);
+        std::memcpy(rw(addr), bytes, chunk);
+        addr += static_cast<std::uint32_t>(chunk);
+        bytes += chunk;
+        count -= chunk;
+    }
 }
 
 void
 Memory::clear()
 {
-    std::fill(data_.begin(), data_.end(), 0);
-    std::fill(dirty_.begin(), dirty_.end(), false);
-    // Zeroing changes content, so every line's generation moves.
-    for (auto &gen : lineGen_)
-        ++gen;
+    const PageRef &z = Page::zero();
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        if (pages_[p] == z)
+            continue;
+        pages_[p] = z;
+        owned_[p] = 0;
+        // The page held (possibly) non-zero content, so every line it
+        // covers may have changed.  Untouched pages were zero before
+        // and after, so their generations — and any decode built over
+        // them — stay valid.
+        bumpPage(p);
+    }
     stats_.reset();
 }
 
-std::vector<MemoryPage>
+MemoryImage
 Memory::dirtyPages() const
 {
-    std::vector<MemoryPage> pages;
-    for (std::size_t p = 0; p < dirty_.size(); ++p) {
-        if (!dirty_[p])
+    MemoryImage image;
+    const PageRef &z = Page::zero();
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        if (pages_[p] == z)
             continue;
-        MemoryPage page;
-        page.base = static_cast<std::uint32_t>(p * pageBytes);
-        const std::size_t end =
-            std::min<std::size_t>(page.base + pageBytes, data_.size());
-        page.bytes.assign(data_.begin() + page.base, data_.begin() + end);
-        pages.push_back(std::move(page));
+        MemoryImage::Entry entry;
+        entry.base = static_cast<std::uint32_t>(p * pageBytes);
+        entry.length = static_cast<std::uint32_t>(
+            std::min<std::size_t>(pageBytes, size_ - entry.base));
+        entry.page = pages_[p];
+        image.entries.push_back(std::move(entry));
+        // The page is now aliased by the image: the next write to it
+        // must copy first so the image stays frozen.
+        owned_[p] = 0;
     }
-    return pages;
+    return image;
 }
 
 void
-Memory::restoreContents(const std::vector<MemoryPage> &pages)
+Memory::restoreContents(const MemoryImage &image)
 {
-    clear();
-    for (const auto &page : pages) {
-        if (page.bytes.empty())
-            continue;
-        if (page.base % pageBytes != 0 ||
-            static_cast<std::size_t>(page.base) + page.bytes.size() >
-                data_.size())
+    // Index incoming entries by page slot (last entry wins, matching
+    // the old replay semantics).
+    std::vector<const MemoryImage::Entry *> incoming(pages_.size(),
+                                                     nullptr);
+    for (const auto &entry : image.entries) {
+        if (!entry.page || entry.base % pageBytes != 0 ||
+            entry.length == 0 || entry.length > pageBytes ||
+            static_cast<std::size_t>(entry.base) + entry.length > size_)
             fatal(cat("memory restore: bad page at 0x", std::hex,
-                      page.base));
-        touch(page.base, page.bytes.size());
-        std::memcpy(data_.data() + page.base, page.bytes.data(),
-                    page.bytes.size());
+                      entry.base));
+        incoming[entry.base / pageBytes] = &entry;
     }
+    const PageRef &z = Page::zero();
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        const MemoryImage::Entry *e = incoming[p];
+        if (e == nullptr) {
+            // Not in the image: revert to zero.  Only a previously
+            // dirty page actually changes content here.
+            if (pages_[p] != z) {
+                pages_[p] = z;
+                owned_[p] = 0;
+                bumpPage(p);
+            }
+            continue;
+        }
+        if (pages_[p] == e->page)
+            continue; // already aliasing this exact page
+        const bool identical =
+            std::memcmp(pages_[p]->bytes.data(), e->page->bytes.data(),
+                        pageBytes) == 0;
+        // Adopt the shared handle either way (dedupes an equal copy
+        // back onto the image's page); bump generations only when the
+        // bytes really moved, so decode caches stay warm across a
+        // same-content restore.
+        pages_[p] = e->page;
+        owned_[p] = 0;
+        if (!identical)
+            bumpPage(p);
+    }
+    stats_.reset();
+}
+
+MemoryUsage
+Memory::usage() const
+{
+    MemoryUsage u;
+    const PageRef &z = Page::zero();
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        if (pages_[p] == z)
+            continue;
+        const std::uint64_t bytes =
+            std::min<std::size_t>(pageBytes, size_ - p * pageBytes);
+        if (pages_[p].use_count() == 1)
+            u.residentBytes += bytes;
+        else
+            u.sharedBytes += bytes;
+    }
+    return u;
 }
 
 } // namespace risc1

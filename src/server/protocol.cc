@@ -184,6 +184,12 @@ Service::cmdInfo()
         .field("evictions", c.evictions)
         .field("restores", c.restores)
         .field("snapshots", std::uint64_t(c.snapshots))
+        // Copy-on-write accounting summed over the resident sessions
+        // (docs/MEMORY.md): residentBytes is the private page deltas,
+        // sharedBytes the pages aliased with snapshots and forks.
+        // riscload asserts forked fleets keep residentBytes flat.
+        .field("residentBytes", c.residentBytes)
+        .field("sharedBytes", c.sharedBytes)
         .endObject();
     w.key("runs")
         .beginObject()
@@ -427,6 +433,14 @@ Service::cmdStats(const JsonValue &req)
     w.key("result").beginObject();
     stats->writeJson(w);
     w.endObject();
+    // This session's own copy-on-write footprint: the pages only it
+    // holds vs the pages it still shares with snapshots/forks.
+    const MemoryUsage usage = session->target->memUsage();
+    w.key("memory")
+        .beginObject()
+        .field("residentBytes", usage.residentBytes)
+        .field("sharedBytes", usage.sharedBytes)
+        .endObject();
     w.key("metrics");
     session->metrics.writeJson(w);
     w.endObject();
@@ -457,26 +471,30 @@ Service::cmdFork(const JsonValue &req)
     if (snapId.empty() == srcId.empty())
         fatal("fork needs exactly one of 'session' or 'snapshot'");
 
-    std::shared_ptr<const target::TargetSnapshot> snap;
+    std::unique_ptr<target::Target> target;
     SessionConfig cfg;
     if (!snapId.empty()) {
         const auto stored = sessions_.findSnapshot(snapId);
         if (!stored)
             fatal(cat("unknown snapshot '", snapId, "'"));
-        snap = stored->snap;
         cfg = stored->cfg;
+        // Restoring adopts the stored snapshot's page handles; every
+        // session forked off one snapshot shares its pages until it
+        // writes them (copy-on-write).
+        target = target::makeTarget(cfg.backend, cfg.options);
+        target->restore(*stored->snap);
     } else {
         const auto src = needSession(req);
         std::lock_guard lock(src->mutex);
         requireIdle(*src);
         sessions_.ensureResident(*src);
         touch(*src);
-        snap = src->target->snapshot();
+        // Clone the live machine directly — O(pages touched) handle
+        // adoption, no content copied (Target::fork).
+        target = src->target->fork();
         cfg = src->cfg;
     }
 
-    auto target = target::makeTarget(cfg.backend, cfg.options);
-    target->restore(*snap);
     const auto session = sessions_.create(std::move(cfg));
     {
         std::lock_guard lock(session->mutex);

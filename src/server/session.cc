@@ -137,10 +137,14 @@ SessionManager::counts() const
     counts.sessions = sessions.size();
     for (const auto &session : sessions) {
         std::lock_guard sessionLock(session->mutex);
-        if (session->target)
+        if (session->target) {
             ++counts.resident;
-        else
+            const MemoryUsage usage = session->target->memUsage();
+            counts.residentBytes += usage.residentBytes;
+            counts.sharedBytes += usage.sharedBytes;
+        } else {
             ++counts.evicted;
+        }
     }
     std::lock_guard lock(mutex_);
     counts.created = created_;

@@ -106,6 +106,18 @@ struct SessionCounts
     std::uint64_t evictions = 0;  ///< lifetime spool writes
     std::uint64_t restores = 0;   ///< lifetime spool reads
     std::size_t snapshots = 0;    ///< stored named snapshots
+
+    /**
+     * Memory footprint across the resident sessions, from
+     * Target::memUsage(): residentBytes sums each session's private
+     * copy-on-write delta (what destroying it would free);
+     * sharedBytes sums the pages sessions alias with snapshots and
+     * forks.  A fleet of forks over one warmed snapshot shows a small
+     * resident total however many sessions exist — the scaling
+     * property riscload asserts.
+     */
+    std::uint64_t residentBytes = 0;
+    std::uint64_t sharedBytes = 0;
 };
 
 /**

@@ -262,6 +262,9 @@ runJob(const SimJob &job, std::size_t index)
         const auto tgt = target::makeTarget(res.backend, job.config);
 
         if (job.base) {
+            // O(pages touched) under the copy-on-write page store:
+            // every warm-started job aliases the snapshot's pages and
+            // pays content copies only for pages it later writes.
             tgt->restore(*job.base);
         } else {
             tgt->load(job.source);

@@ -81,7 +81,11 @@ struct SimJob
      * Warm-start fork point: instead of assembling @ref source into a
      * fresh machine, the worker restores this snapshot into a target
      * built from @ref config and continues from there.  The snapshot
-     * must come from the same backend and be geometry-compatible with
+     * holds shared copy-on-write page handles (memory/memory.hh), so
+     * restoring it into any number of concurrent jobs adopts pages in
+     * O(pages touched) — no per-job content copy; each job's memory
+     * then diverges page by page as it writes.  The snapshot must
+     * come from the same backend and be geometry-compatible with
      * @ref config (see Target::restore); caches may differ freely,
      * which is the point — one executed prologue, many sweep points.
      */

@@ -80,4 +80,17 @@ RiscTarget::restore(const TargetSnapshot &snap)
     machine_.restore(risc->machineSnapshot());
 }
 
+std::unique_ptr<Target>
+RiscTarget::fork() const
+{
+    // snapshot() + restore() move page handles, not page content, so
+    // the clone costs O(pages touched) regardless of memory size.
+    TargetOptions options;
+    options.risc = machine_.config();
+    auto clone = std::make_unique<RiscTarget>(options);
+    clone->machine_.restore(machine_.snapshot());
+    clone->codeBytes_ = codeBytes_;
+    return clone;
+}
+
 } // namespace risc1::target

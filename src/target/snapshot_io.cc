@@ -1,7 +1,9 @@
 #include "target/snapshot_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "common/logging.hh"
 #include "target/risc_target.hh"
@@ -206,26 +208,41 @@ getMemStats(Dec &d)
 }
 
 void
-putPages(Enc &e, const std::vector<MemoryPage> &pages)
+putPages(Enc &e, const MemoryImage &image)
 {
-    e.u32(std::uint32_t(pages.size()));
-    for (const auto &p : pages) {
-        e.u32(p.base);
-        e.bytes(p.bytes);
+    // Serialized straight from the shared page handles — capturing a
+    // snapshot and writing it to the spool never materializes a
+    // private copy of the content.  Byte format is unchanged from the
+    // deep-copy era: count, then per page base + length-prefixed
+    // bytes (a trailing partial page writes only its valid prefix).
+    e.u32(std::uint32_t(image.entries.size()));
+    for (const auto &entry : image.entries) {
+        e.u32(entry.base);
+        e.u32(entry.length);
+        e.out.insert(e.out.end(), entry.page->bytes.data(),
+                     entry.page->bytes.data() + entry.length);
     }
 }
 
-std::vector<MemoryPage>
+MemoryImage
 getPages(Dec &d)
 {
     // Each page contributes at least base (4) + length (4) bytes.
     const std::size_t n = d.length(8);
-    std::vector<MemoryPage> pages(n);
-    for (auto &p : pages) {
-        p.base = d.u32();
-        p.bytes = d.bytes();
+    MemoryImage image;
+    image.entries.resize(n);
+    for (auto &entry : image.entries) {
+        entry.base = d.u32();
+        const std::vector<std::uint8_t> content = d.bytes();
+        if (content.empty() || content.size() > Page::size)
+            fatal(cat("snapshot decode: bad page length ",
+                      content.size(), " at 0x", std::hex, entry.base));
+        entry.length = std::uint32_t(content.size());
+        auto page = std::make_shared<Page>();
+        std::copy(content.begin(), content.end(), page->bytes.begin());
+        entry.page = std::move(page);
     }
-    return pages;
+    return image;
 }
 
 void

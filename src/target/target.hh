@@ -220,6 +220,26 @@ class Target
      * when the snapshot's backend or geometry does not match.
      */
     virtual void restore(const TargetSnapshot &snap) = 0;
+
+    /**
+     * Clone this machine into an independent runnable Target of the
+     * same backend and configuration.  Memory pages are shared
+     * copy-on-write with this machine (memory/memory.hh), so the cost
+     * is O(pages touched) handle adoption rather than a content copy;
+     * the two machines then diverge page by page as either writes.
+     * Decode caches are rebuilt lazily in the clone, which does not
+     * change any counted statistic (they model no architectural or
+     * timing state).
+     */
+    virtual std::unique_ptr<Target> fork() const = 0;
+
+    /**
+     * Owned/shared page accounting for this machine's memory
+     * (Memory::usage()): residentBytes is the copy-on-write delta
+     * only this machine holds; sharedBytes the non-zero pages it
+     * aliases with snapshots and forks.
+     */
+    virtual MemoryUsage memUsage() const = 0;
 };
 
 } // namespace risc1::target

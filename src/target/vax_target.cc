@@ -82,4 +82,17 @@ VaxTarget::restore(const TargetSnapshot &snap)
     machine_.restore(v->machineSnapshot());
 }
 
+std::unique_ptr<Target>
+VaxTarget::fork() const
+{
+    // snapshot() + restore() move page handles, not page content, so
+    // the clone costs O(pages touched) regardless of memory size.
+    TargetOptions options;
+    options.vax = machine_.config();
+    auto clone = std::make_unique<VaxTarget>(options);
+    clone->machine_.restore(machine_.snapshot());
+    clone->codeBytes_ = codeBytes_;
+    return clone;
+}
+
 } // namespace risc1::target

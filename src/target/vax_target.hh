@@ -60,6 +60,11 @@ class VaxTarget final : public Target
     }
     std::shared_ptr<const TargetSnapshot> snapshot() const override;
     void restore(const TargetSnapshot &snap) override;
+    std::unique_ptr<Target> fork() const override;
+    MemoryUsage memUsage() const override
+    {
+        return machine_.memory().usage();
+    }
 
     /** The wrapped machine, for callers that need ISA specifics. */
     VaxMachine &machine() { return machine_; }

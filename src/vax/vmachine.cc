@@ -1060,9 +1060,10 @@ VaxMachine::restore(const VaxSnapshot &snap)
     halted_ = snap.halted;
     stats_ = snap.stats;
 
-    // restoreContents() clears and replays pages, bumping every
-    // line's write generation — the decode cache revalidates itself
-    // on its next execution with no explicit flush.
+    // restoreContents() adopts the snapshot's page handles in O(pages
+    // that differ) and bumps write generations only where content
+    // really moved — so the decode cache stays warm across a
+    // same-content restore and revalidates itself anywhere it isn't.
     mem_.restoreContents(snap.pages);
     mem_.setStats(snap.memStats);
 

@@ -96,5 +96,136 @@ TEST(Memory, BadSizesRejected)
     EXPECT_THROW(Memory(1023), FatalError);
 }
 
+// -- Copy-on-write page store (docs/MEMORY.md) -------------------------
+
+TEST(MemoryCow, UntouchedMemoryHoldsNoPages)
+{
+    Memory mem(1u << 20);
+    EXPECT_TRUE(mem.dirtyPages().empty());
+    const MemoryUsage usage = mem.usage();
+    EXPECT_EQ(usage.residentBytes, 0u);
+    EXPECT_EQ(usage.sharedBytes, 0u);
+}
+
+TEST(MemoryCow, CapturedImageIsFrozen)
+{
+    Memory mem(16384);
+    mem.pokeWord(100, 0x11111111);
+    const MemoryImage image = mem.dirtyPages();
+    ASSERT_EQ(image.size(), 1u);
+    // Writing after the capture copy-on-writes the page; the image
+    // keeps observing the old content.
+    mem.pokeWord(100, 0x22222222);
+    EXPECT_EQ(mem.peekWord(100), 0x22222222u);
+    EXPECT_EQ(image.entries[0].page->bytes[100], 0x11);
+}
+
+TEST(MemoryCow, UsageSplitsOwnedAndShared)
+{
+    Memory mem(16384);
+    mem.pokeWord(0, 1);
+    EXPECT_EQ(mem.usage().residentBytes, Memory::pageBytes);
+    EXPECT_EQ(mem.usage().sharedBytes, 0u);
+    {
+        const MemoryImage image = mem.dirtyPages();
+        EXPECT_EQ(mem.usage().residentBytes, 0u);
+        EXPECT_EQ(mem.usage().sharedBytes, Memory::pageBytes);
+    }
+    // The image died: the next write may reclaim sole ownership
+    // without copying, and the page counts as resident again.
+    mem.pokeWord(4, 2);
+    EXPECT_EQ(mem.usage().residentBytes, Memory::pageBytes);
+    EXPECT_EQ(mem.usage().sharedBytes, 0u);
+}
+
+TEST(MemoryCow, RestoreAdoptsSharedHandles)
+{
+    Memory a(16384);
+    a.pokeWord(8, 0xdeadbeef);
+    a.pokeWord(8192, 0x42);
+    const MemoryImage image = a.dirtyPages();
+
+    Memory b(16384);
+    b.pokeWord(12288, 7); // will be dropped: not in the image
+    b.restoreContents(image);
+    EXPECT_EQ(b.peekWord(8), 0xdeadbeefu);
+    EXPECT_EQ(b.peekWord(8192), 0x42u);
+    EXPECT_EQ(b.peekWord(12288), 0u);
+    // b aliases the image's pages rather than holding copies.
+    EXPECT_EQ(b.usage().sharedBytes, 2 * Memory::pageBytes);
+    EXPECT_EQ(b.usage().residentBytes, 0u);
+    // And its dirty set is exactly the image.
+    EXPECT_EQ(b.dirtyPages(), image);
+}
+
+TEST(MemoryCow, RestoreWithIdenticalContentKeepsGenerations)
+{
+    Memory mem(16384);
+    mem.pokeWord(64, 0xabcdef01);
+    const MemoryImage image = mem.dirtyPages();
+    const std::uint64_t gen = mem.lineGen(64 / Memory::genLineBytes);
+    // Same handles: nothing to do, generations must not move (a warm
+    // decode cache stays valid across the warm-start restore).
+    mem.restoreContents(image);
+    EXPECT_EQ(mem.lineGen(64 / Memory::genLineBytes), gen);
+    // Equal content behind a different Page object: still no bump.
+    Memory copy(16384);
+    copy.pokeWord(64, 0xabcdef01);
+    mem.restoreContents(copy.dirtyPages());
+    EXPECT_EQ(mem.lineGen(64 / Memory::genLineBytes), gen);
+    // Different content must bump so caches revalidate.
+    Memory other(16384);
+    other.pokeWord(64, 0x12121212);
+    mem.restoreContents(other.dirtyPages());
+    EXPECT_GT(mem.lineGen(64 / Memory::genLineBytes), gen);
+    EXPECT_EQ(mem.peekWord(64), 0x12121212u);
+}
+
+TEST(MemoryCow, RestoreRevertsAbsentPagesToZero)
+{
+    Memory mem(16384);
+    mem.pokeWord(0, 1);
+    const MemoryImage image = mem.dirtyPages();
+    mem.pokeWord(8192, 2);
+    const std::uint64_t gen = mem.lineGen(8192 / Memory::genLineBytes);
+    mem.restoreContents(image);
+    EXPECT_EQ(mem.peekWord(8192), 0u);
+    EXPECT_GT(mem.lineGen(8192 / Memory::genLineBytes), gen);
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+}
+
+TEST(MemoryCow, ImageEqualityIsContentEquality)
+{
+    Memory a(16384);
+    Memory b(16384);
+    a.pokeWord(40, 1234);
+    b.pokeWord(40, 1234);
+    // Distinct Page objects, identical bytes: equal.
+    EXPECT_EQ(a.dirtyPages(), b.dirtyPages());
+    b.pokeWord(44, 5678);
+    EXPECT_FALSE(a.dirtyPages() == b.dirtyPages());
+}
+
+TEST(MemoryCow, LoaderSpansPageBoundaries)
+{
+    Memory mem(16384);
+    std::vector<std::uint8_t> blob(6000);
+    for (std::size_t i = 0; i < blob.size(); ++i)
+        blob[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    mem.load(4000, blob.data(), blob.size());
+    for (std::size_t i = 0; i < blob.size(); i += 97)
+        EXPECT_EQ(mem.peekByte(4000 + std::uint32_t(i)), blob[i]);
+    EXPECT_EQ(mem.dirtyPages().size(), 3u);
+}
+
+TEST(MemoryCow, ZeroPageIsProcessWideSingleton)
+{
+    // Two untouched memories cost nothing and share the zero page.
+    Memory a(1u << 20);
+    Memory b(1u << 20);
+    EXPECT_EQ(a.usage().residentBytes + b.usage().residentBytes, 0u);
+    EXPECT_EQ(Page::zero().get(), Page::zero().get());
+}
+
 } // namespace
 } // namespace risc1
