@@ -22,9 +22,19 @@
  *     --out FILE                 write the JSON report (BENCH_server)
  *     --p99-limit-ms X           exit 1 when p99 latency exceeds X
  *     --keep                     skip the final destroy pass
+ *     --server-metrics-out FILE  write the daemon's Prometheus text
+ *                                exposition (scraped via `telemetry`)
  *
- * Exit status: 0 on success, 1 when any command failed or the p99
- * limit was exceeded, 2 on usage errors.
+ * After the load completes, riscload scrapes the daemon's `telemetry`
+ * command and cross-checks the server-observed per-command p99 against
+ * its own client-observed p99 (docs/OBSERVABILITY.md): server time is
+ * a subset of client time (no framing, no socket), so serverP99 must
+ * not exceed 2x clientP99 — the gate the report's `server` block
+ * records.  It also micro-benchmarks obs::Histogram::record so the
+ * registry's hot-path cost is pinned in the same artifact.
+ *
+ * Exit status: 0 on success, 1 when any command failed, the p99 limit
+ * was exceeded, or a telemetry gate failed, 2 on usage errors.
  */
 
 #include <algorithm>
@@ -41,6 +51,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/registry.hh"
 #include "server/client.hh"
 
 using namespace risc1;
@@ -61,6 +72,7 @@ struct LoadConfig
     std::uint64_t memBytes = 256 * 1024;
     std::uint64_t runSteps = 20'000;
     std::string outPath;
+    std::string serverMetricsOut;
     double p99LimitMs = 0.0; // 0 = no limit
     bool keep = false;
 };
@@ -87,16 +99,12 @@ msSince(Clock::time_point from)
         .count();
 }
 
+// One percentile definition, shared with the server-side histograms
+// (obs/registry.hh) so the cross-check below compares like with like.
 double
-percentile(std::vector<double> &sorted, double p)
+percentile(const std::vector<double> &sorted, double p)
 {
-    if (sorted.empty())
-        return 0.0;
-    const double rank = p * double(sorted.size() - 1);
-    const std::size_t lo = std::size_t(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - double(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    return obs::percentileSorted(sorted, p);
 }
 
 /** The scripted mix: cumulative weights out of 100. */
@@ -244,8 +252,60 @@ usage()
            "                [--connections N] [--sessions M] [--ops K]\n"
            "                [--seed S] [--workload ID] [--mem BYTES]\n"
            "                [--run-steps N] [--out FILE]\n"
-           "                [--p99-limit-ms X] [--keep]\n";
+           "                [--p99-limit-ms X] [--keep]\n"
+           "                [--server-metrics-out FILE]\n";
     return 2;
+}
+
+/** Server-observed latency for one command, from the `telemetry`
+ *  scrape ("cmd.<name>.ns" histogram, converted to milliseconds). */
+struct ServerQuantiles
+{
+    bool present = false;
+    std::uint64_t count = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+ServerQuantiles
+scrapeQuantiles(const JsonValue &telemetry, const std::string &cmd)
+{
+    ServerQuantiles q;
+    const JsonValue *histograms = telemetry.find("histograms");
+    if (!histograms)
+        return q;
+    const JsonValue *h = histograms->find(cat("cmd.", cmd, ".ns"));
+    if (!h)
+        return q;
+    q.present = true;
+    q.count = h->u64Or("count", 0);
+    if (const JsonValue *p = h->find("p50"))
+        q.p50Ms = p->asDouble() / 1e6;
+    if (const JsonValue *p = h->find("p99"))
+        q.p99Ms = p->asDouble() / 1e6;
+    return q;
+}
+
+/**
+ * The registry's hot-path cost: nanoseconds per Histogram::record,
+ * measured over a million records spread across the bucket range.
+ * This is what "no measurable steps/sec regression with no sinks
+ * attached" rests on — a record is a handful of relaxed atomics, so
+ * even one per quota-slice (~100k instructions) is noise.
+ */
+constexpr std::uint64_t kOverheadRecords = 1'000'000;
+constexpr double kOverheadLimitNs = 250.0; // generous for sanitizers
+
+double
+measureRecordNs()
+{
+    obs::Histogram h;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kOverheadRecords; ++i)
+        h.record(i * 977 + 13);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - t0);
+    return double(ns.count()) / double(kOverheadRecords);
 }
 
 bool
@@ -321,6 +381,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             cfg.outPath = v;
+        } else if (arg == "--server-metrics-out") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.serverMetricsOut = v;
         } else if (arg == "--p99-limit-ms") {
             const char *v = value();
             if (!v)
@@ -380,6 +445,82 @@ main(int argc, char **argv)
     }
     std::sort(all.begin(), all.end());
     std::sort(creates.begin(), creates.end());
+    for (CommandSamples &c : merged)
+        std::sort(c.ms.begin(), c.ms.end());
+
+    // Scrape the daemon's own view of the load over a fresh
+    // connection: the full registry as JSON for the p99 cross-check,
+    // and optionally the Prometheus exposition for --server-metrics-out.
+    bool scraped = false;
+    std::string scrapeError;
+    JsonValue telemetry;
+    std::uint64_t serverUptimeMs = 0;
+    try {
+        server::Client client =
+            cfg.tcp ? server::Client::connectTcp(cfg.tcpPort)
+                    : server::Client::connectUnix(cfg.unixPath);
+        const JsonValue resp =
+            client.callOk("{\"cmd\":\"telemetry\"}");
+        serverUptimeMs = resp.u64Or("uptimeMs", 0);
+        if (const JsonValue *t = resp.find("telemetry"))
+            telemetry = *t;
+        scraped = true;
+        if (!cfg.serverMetricsOut.empty()) {
+            const JsonValue prom = client.callOk(
+                "{\"cmd\":\"telemetry\",\"format\":\"prometheus\"}");
+            std::ofstream out(cfg.serverMetricsOut);
+            if (!out)
+                fatal(cat("cannot write ", cfg.serverMetricsOut));
+            out << prom.stringOr("exposition", "");
+            std::cout << "riscload: server metrics written to "
+                      << cfg.serverMetricsOut << "\n";
+        }
+    } catch (const std::exception &e) {
+        scrapeError = e.what();
+    }
+
+    // Server-vs-client p99 cross-check: the server measures
+    // accept-to-reply, a strict subset of the client's
+    // send-to-receive, so serverP99 > 2x clientP99 means the two
+    // views of the same load disagree.  Gated only where both sides
+    // have enough samples for a stable tail.
+    struct CrossCheck
+    {
+        const char *name;
+        std::uint64_t clientCount;
+        double clientP50Ms;
+        double clientP99Ms;
+        ServerQuantiles server;
+        bool gated;
+        bool pass;
+    };
+    std::vector<CrossCheck> crossChecks;
+    bool crossCheckOk = true;
+    if (scraped) {
+        for (const CommandSamples &c : merged) {
+            if (std::strcmp(c.name, "snapshotFork") == 0)
+                continue; // composite op; no single server histogram
+            CrossCheck check{};
+            check.name = c.name;
+            check.clientCount = c.ms.size();
+            check.clientP50Ms = percentile(c.ms, 0.50);
+            check.clientP99Ms = percentile(c.ms, 0.99);
+            check.server = scrapeQuantiles(telemetry, c.name);
+            check.gated = check.server.present &&
+                          check.server.count >= 20 &&
+                          check.clientCount >= 20 &&
+                          check.clientP99Ms >= 0.01;
+            check.pass =
+                !check.gated ||
+                check.server.p99Ms <= 2.0 * check.clientP99Ms + 0.05;
+            if (!check.pass)
+                crossCheckOk = false;
+            crossChecks.push_back(check);
+        }
+    }
+
+    const double nsPerRecord = measureRecordNs();
+    const bool overheadOk = nsPerRecord < kOverheadLimitNs;
 
     const double p50 = percentile(all, 0.50);
     const double p90 = percentile(all, 0.90);
@@ -426,8 +567,7 @@ main(int argc, char **argv)
         .field("max", creates.empty() ? 0.0 : creates.back())
         .endObject();
     w.key("perCommand").beginObject();
-    for (CommandSamples &c : merged) {
-        std::sort(c.ms.begin(), c.ms.end());
+    for (const CommandSamples &c : merged) {
         w.key(c.name)
             .beginObject()
             .field("count", std::uint64_t(c.ms.size()))
@@ -435,7 +575,38 @@ main(int argc, char **argv)
             .field("p99", percentile(c.ms, 0.99))
             .endObject();
     }
+    w.endObject();
+    w.key("server")
+        .beginObject()
+        .field("scraped", scraped)
+        .field("uptimeMs", serverUptimeMs)
+        .field("p99Within2x", crossCheckOk);
+    w.key("perCommand").beginObject();
+    for (const CrossCheck &check : crossChecks) {
+        w.key(check.name)
+            .beginObject()
+            .field("clientCount", check.clientCount)
+            .field("clientP50Ms", check.clientP50Ms)
+            .field("clientP99Ms", check.clientP99Ms)
+            .field("serverCount", check.server.count)
+            .field("serverP50Ms", check.server.p50Ms)
+            .field("serverP99Ms", check.server.p99Ms)
+            .field("ratio", check.clientP99Ms > 0.0
+                                ? check.server.p99Ms / check.clientP99Ms
+                                : 0.0)
+            .field("gated", check.gated)
+            .field("pass", check.pass)
+            .endObject();
+    }
     w.endObject().endObject();
+    w.key("registryOverhead")
+        .beginObject()
+        .field("records", kOverheadRecords)
+        .field("nsPerRecord", nsPerRecord)
+        .field("limitNsPerRecord", kOverheadLimitNs)
+        .field("pass", overheadOk)
+        .endObject();
+    w.endObject();
 
     const std::string json = w.str();
     if (!cfg.outPath.empty()) {
@@ -468,6 +639,26 @@ main(int argc, char **argv)
     if (cfg.p99LimitMs > 0.0 && p99 > cfg.p99LimitMs) {
         std::cerr << "riscload: p99 " << p99 << " ms exceeds limit "
                   << cfg.p99LimitMs << " ms\n";
+        return 1;
+    }
+    if (!scraped) {
+        std::cerr << "riscload: telemetry scrape failed: "
+                  << scrapeError << "\n";
+        return 1;
+    }
+    if (!crossCheckOk) {
+        for (const CrossCheck &check : crossChecks)
+            if (!check.pass)
+                std::cerr << "riscload: " << check.name
+                          << ": server p99 " << check.server.p99Ms
+                          << " ms exceeds 2x client p99 "
+                          << check.clientP99Ms << " ms\n";
+        return 1;
+    }
+    if (!overheadOk) {
+        std::cerr << "riscload: registry overhead " << nsPerRecord
+                  << " ns/record exceeds limit " << kOverheadLimitNs
+                  << " ns\n";
         return 1;
     }
     return 0;

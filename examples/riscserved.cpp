@@ -23,6 +23,14 @@
  *     --max-sessions N   session cap
  *     --mem BYTES        default per-session memory
  *
+ * Telemetry (docs/OBSERVABILITY.md):
+ *     --event-log PATH       structured JSONL event log (appended)
+ *     --event-log-level L    debug|info|warn (default info)
+ *     --slow-ms MS           log commands slower than MS as warn
+ *                            `slow.command` events (0 = off)
+ *     --metrics-dump PATH    write the Prometheus text exposition to
+ *                            PATH after the drain completes
+ *
  * Prints one "riscserved: ready ..." line once listening — scripts
  * wait for it.  SIGINT/SIGTERM drain gracefully: pending runs are
  * failed with "server shutting down", every worker joins, exit 0.
@@ -31,6 +39,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -62,7 +71,10 @@ usage()
         << "usage: riscserved (--unix PATH | --tcp PORT) [--workers N]\n"
            "                  [--queue N] [--quota N] [--ttl-ms N]\n"
            "                  [--spool DIR] [--max-sessions N] "
-           "[--mem BYTES]\n";
+           "[--mem BYTES]\n"
+           "                  [--event-log PATH] [--event-log-level "
+           "debug|info|warn]\n"
+           "                  [--slow-ms MS] [--metrics-dump PATH]\n";
     return 2;
 }
 
@@ -83,6 +95,7 @@ main(int argc, char **argv)
 {
     server::ServiceConfig svc;
     server::ServerConfig net;
+    std::string metricsDumpPath;
     svc.spoolDir = "riscserved.spool";
 
     for (int i = 1; i < argc; ++i) {
@@ -143,6 +156,26 @@ main(int argc, char **argv)
             if (!v || !parseU64(v, n) || n == 0)
                 return usage();
             svc.defaultMemBytes = n;
+        } else if (arg == "--event-log") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            svc.eventLogPath = v;
+        } else if (arg == "--event-log-level") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            svc.eventLogLevel = v;
+        } else if (arg == "--slow-ms") {
+            const char *v = value();
+            if (!v || !parseU64(v, n))
+                return usage();
+            svc.slowMs = double(n);
+        } else if (arg == "--metrics-dump") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            metricsDumpPath = v;
         } else {
             return usage();
         }
@@ -183,6 +216,17 @@ main(int argc, char **argv)
         // still reach connected clients), then tear down the sockets.
         service.stop();
         sockets.stop();
+        if (!metricsDumpPath.empty()) {
+            std::ofstream dump(metricsDumpPath);
+            if (!dump) {
+                std::cerr << "riscserved: cannot write metrics dump "
+                          << metricsDumpPath << "\n";
+                return 1;
+            }
+            dump << service.registry().prometheus();
+            std::cout << "riscserved: metrics dumped to "
+                      << metricsDumpPath << std::endl;
+        }
         std::cout << "riscserved: drained, exiting" << std::endl;
         return 0;
     } catch (const std::exception &e) {

@@ -121,18 +121,28 @@ done
 
 echo
 echo "== server smoke: riscserved + riscload (docs/SERVER.md) =="
-# Boot the daemon on a Unix socket with aggressive TTL eviction, park
-# 1024 sessions in it (4 connections x 256), verify the load report
-# and that idle sessions really spooled to disk, then check SIGTERM
-# drains to exit 0.
+# Boot the daemon on a Unix socket with aggressive TTL eviction and
+# the full telemetry surface on (event log, slow-command threshold,
+# shutdown metrics dump), park 1024 sessions in it (4 connections x
+# 256), verify the load report — riscload itself scrapes `telemetry`,
+# gates the server-vs-client p99 cross-check, and measures registry
+# overhead — check that idle sessions really spooled to disk, then
+# check SIGTERM drains to exit 0 and wrote the exposition dump.
+# Telemetry artifacts land in $BUILD/bench/out/ (uploaded by CI).
 # Paths stay relative to the repo root (Unix socket paths are capped
 # at ~107 bytes, so no absolute $PWD prefixes).
 SRV_SOCK="$BUILD/rs_check.sock"
 SRV_SPOOL="$BUILD/rs_check.spool"
 SRV_LOG="$BUILD/rs_check.log"
-rm -rf "$SRV_SPOOL" "$SRV_SOCK" "$SRV_LOG"
+SRV_EVENTS="$BUILD/bench/out/riscserved_events.jsonl"
+SRV_METRICS="$BUILD/bench/out/riscserved_metrics.prom"
+SRV_SCRAPE="$BUILD/bench/out/riscserved_scrape.prom"
+rm -rf "$SRV_SPOOL" "$SRV_SOCK" "$SRV_LOG" \
+    "$SRV_EVENTS" "$SRV_METRICS" "$SRV_SCRAPE"
 "$BUILD/examples/riscserved" --unix "$SRV_SOCK" \
-    --ttl-ms 300 --spool "$SRV_SPOOL" > "$SRV_LOG" 2>&1 &
+    --ttl-ms 300 --spool "$SRV_SPOOL" \
+    --event-log "$SRV_EVENTS" --slow-ms 250 \
+    --metrics-dump "$SRV_METRICS" > "$SRV_LOG" 2>&1 &
 SRV_PID=$!
 i=0
 until grep -q "riscserved: ready" "$SRV_LOG" 2>/dev/null; do
@@ -146,11 +156,24 @@ until grep -q "riscserved: ready" "$SRV_LOG" 2>/dev/null; do
 done
 "$BUILD/bench/riscload" --unix "$SRV_SOCK" \
     --connections 4 --sessions 256 --ops 120 --keep \
-    --p99-limit-ms 2000 --out "$BUILD/bench/out/BENCH_server.json"
+    --p99-limit-ms 2000 --server-metrics-out "$SRV_SCRAPE" \
+    --out "$BUILD/bench/out/BENCH_server.json"
 test -s "$BUILD/bench/out/BENCH_server.json" || {
     echo "missing artifact: $BUILD/bench/out/BENCH_server.json" >&2
     exit 1
 }
+# The scraped exposition must be non-empty and well-formed.
+test -s "$SRV_SCRAPE" || {
+    echo "telemetry scrape produced no exposition in $SRV_SCRAPE" >&2
+    exit 1
+}
+grep -q "^# TYPE riscserved_server_requests_total counter" \
+    "$SRV_SCRAPE" || {
+    echo "exposition lacks the requests counter TYPE line" >&2
+    exit 1
+}
+SCRAPED_REQS=$(awk '$1 == "riscserved_server_requests_total" \
+    { print $2 }' "$SRV_SCRAPE")
 # The 1024 kept sessions go idle; the 300 ms TTL must spool them.
 sleep 1
 SNAPS=$(ls "$SRV_SPOOL" 2>/dev/null | wc -l)
@@ -165,6 +188,35 @@ wait "$SRV_PID" || {
     cat "$SRV_LOG" >&2
     exit 1
 }
+# Shutdown wrote the final dump; the requests counter must be
+# monotone between the mid-run scrape and the final exposition.
+test -s "$SRV_METRICS" || {
+    echo "riscserved wrote no metrics dump to $SRV_METRICS" >&2
+    exit 1
+}
+FINAL_REQS=$(awk '$1 == "riscserved_server_requests_total" \
+    { print $2 }' "$SRV_METRICS")
+[ -n "$SCRAPED_REQS" ] && [ -n "$FINAL_REQS" ] || {
+    echo "requests counter missing from exposition" >&2
+    exit 1
+}
+awk "BEGIN { exit !($FINAL_REQS >= $SCRAPED_REQS) }" || {
+    echo "requests counter went backwards: scrape=$SCRAPED_REQS" \
+         "final=$FINAL_REQS" >&2
+    exit 1
+}
+# The event log must be line-parseable JSONL with lifecycle events.
+test -s "$SRV_EVENTS" || {
+    echo "riscserved wrote no event log to $SRV_EVENTS" >&2
+    exit 1
+}
+grep -q '"event":"server.start"' "$SRV_EVENTS" &&
+    grep -q '"event":"server.stop"' "$SRV_EVENTS" || {
+    echo "event log lacks server.start/server.stop" >&2
+    exit 1
+}
+echo "-- telemetry ok: requests $SCRAPED_REQS -> $FINAL_REQS," \
+     "$(wc -l < "$SRV_EVENTS") event-log lines"
 rm -rf "$SRV_SPOOL" "$SRV_SOCK" "$SRV_LOG"
 
 echo

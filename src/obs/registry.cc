@@ -1,0 +1,420 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace risc1::obs {
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// ---------------------------------------------------------------- Histogram
+
+unsigned
+Histogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return unsigned(value);
+    const unsigned octave = 63u - unsigned(std::countl_zero(value));
+    const unsigned sub =
+        unsigned(value >> (octave - kSubBits)) & (kSubBuckets - 1);
+    return kSubBuckets + (octave - kSubBits) * kSubBuckets + sub;
+}
+
+std::uint64_t
+Histogram::bucketLo(unsigned index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned octave = (index - kSubBuckets) / kSubBuckets + kSubBits;
+    const unsigned sub = (index - kSubBuckets) % kSubBuckets;
+    return (std::uint64_t(1) << octave) +
+           std::uint64_t(sub) * (std::uint64_t(1) << (octave - kSubBits));
+}
+
+std::uint64_t
+Histogram::bucketHi(unsigned index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned octave = (index - kSubBuckets) / kSubBuckets + kSubBits;
+    return bucketLo(index) + (std::uint64_t(1) << (octave - kSubBits)) - 1;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.buckets.resize(kBuckets);
+    for (unsigned i = 0; i < kBuckets; ++i)
+        snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+    snap.min = mn == ~std::uint64_t(0) ? 0 : mn;
+    snap.max = max_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+double
+HistogramSnapshot::quantile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * double(count - 1);
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const std::uint64_t n = buckets[i];
+        if (n == 0)
+            continue;
+        if (rank < double(before + n)) {
+            // Interpolate inside the bucket the way percentileSorted
+            // interpolates between ranks: position of `rank` among the
+            // bucket's n occupants, mapped linearly onto [lo, hi].
+            const double lo = double(Histogram::bucketLo(unsigned(i)));
+            const double hi = double(Histogram::bucketHi(unsigned(i)));
+            const double frac =
+                n > 1 ? (rank - double(before)) / double(n - 1) : 0.5;
+            const double v = lo + (hi - lo) * frac;
+            return std::clamp(v, double(min), double(max));
+        }
+        before += n;
+    }
+    return double(max);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size());
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    if (other.count != 0) {
+        min = count == 0 ? other.min : std::min(min, other.min);
+        max = count == 0 ? other.max : std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>())
+                 .first;
+    return *it->second;
+}
+
+void
+Registry::onCollect(std::function<void()> hook)
+{
+    std::lock_guard lock(mutex_);
+    collectHooks_.push_back(std::move(hook));
+}
+
+void
+Registry::collect()
+{
+    // Copy the hooks out so a hook can itself register metrics
+    // without deadlocking on the registry mutex.
+    std::vector<std::function<void()>> hooks;
+    {
+        std::lock_guard lock(mutex_);
+        hooks = collectHooks_;
+    }
+    for (const auto &hook : hooks)
+        hook();
+}
+
+void
+Registry::writeJson(JsonWriter &w)
+{
+    collect();
+    std::lock_guard lock(mutex_);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        w.field(name, c->value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_)
+        w.field(name, g->value());
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms_) {
+        const HistogramSnapshot snap = h->snapshot();
+        w.key(name).beginObject()
+            .field("count", snap.count)
+            .field("sum", snap.sum)
+            .field("min", snap.min)
+            .field("max", snap.max)
+            .field("mean", snap.mean())
+            .field("p50", snap.quantile(0.50))
+            .field("p90", snap.quantile(0.90))
+            .field("p99", snap.quantile(0.99));
+        w.key("buckets").beginArray();
+        for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+            if (snap.buckets[i] == 0)
+                continue;
+            w.beginObject()
+                .field("lo", Histogram::bucketLo(unsigned(i)))
+                .field("hi", Histogram::bucketHi(unsigned(i)))
+                .field("count", snap.buckets[i])
+                .endObject();
+        }
+        w.endArray().endObject();
+    }
+    w.endObject().endObject();
+}
+
+namespace {
+
+/** Map a dotted metric name into the Prometheus charset. */
+std::string
+promName(std::string_view prefix, std::string_view name,
+         std::string_view suffix = "")
+{
+    std::string out;
+    out.reserve(prefix.size() + name.size() + suffix.size() + 1);
+    out.append(prefix);
+    out.push_back('_');
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    out.append(suffix);
+    return out;
+}
+
+std::string
+promDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Registry::prometheus(std::string_view prefix)
+{
+    collect();
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const auto &[name, c] : counters_) {
+        const std::string n = promName(prefix, name, "_total");
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string n = promName(prefix, name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + promDouble(g->value()) + "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const HistogramSnapshot snap = h->snapshot();
+        const std::string n = promName(prefix, name);
+        out += "# TYPE " + n + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+            if (snap.buckets[i] == 0)
+                continue;
+            cumulative += snap.buckets[i];
+            out += n + "_bucket{le=\"" +
+                   std::to_string(Histogram::bucketHi(unsigned(i))) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += n + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+               "\n";
+        out += n + "_sum " + std::to_string(snap.sum) + "\n";
+        out += n + "_count " + std::to_string(snap.count) + "\n";
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------- EventLog
+
+std::string_view
+eventLevelName(EventLevel level)
+{
+    switch (level) {
+      case EventLevel::Debug:
+        return "debug";
+      case EventLevel::Info:
+        return "info";
+      case EventLevel::Warn:
+        return "warn";
+    }
+    return "unknown";
+}
+
+EventLevel
+parseEventLevel(std::string_view name)
+{
+    if (name == "debug")
+        return EventLevel::Debug;
+    if (name == "info")
+        return EventLevel::Info;
+    if (name == "warn")
+        return EventLevel::Warn;
+    fatal(cat("unknown event-log level '", name,
+              "' (expected debug, info, or warn)"));
+}
+
+EventFields &
+EventFields::field(std::string_view key, std::string_view value)
+{
+    out_ += ",";
+    out_ += jsonEscape(key);
+    out_ += ":";
+    out_ += jsonEscape(value);
+    return *this;
+}
+
+EventFields &
+EventFields::field(std::string_view key, std::uint64_t value)
+{
+    out_ += ",";
+    out_ += jsonEscape(key);
+    out_ += ":";
+    out_ += std::to_string(value);
+    return *this;
+}
+
+EventFields &
+EventFields::field(std::string_view key, std::int64_t value)
+{
+    out_ += ",";
+    out_ += jsonEscape(key);
+    out_ += ":";
+    out_ += std::to_string(value);
+    return *this;
+}
+
+EventFields &
+EventFields::field(std::string_view key, double value)
+{
+    out_ += ",";
+    out_ += jsonEscape(key);
+    out_ += ":";
+    out_ += promDouble(value);
+    return *this;
+}
+
+EventFields &
+EventFields::field(std::string_view key, bool value)
+{
+    out_ += ",";
+    out_ += jsonEscape(key);
+    out_ += ":";
+    out_ += value ? "true" : "false";
+    return *this;
+}
+
+void
+EventLog::open(const std::string &path, EventLevel minLevel)
+{
+    std::lock_guard lock(mutex_);
+    out_.open(path, std::ios::app);
+    if (!out_)
+        fatal(cat("event log: cannot open ", path, " for append"));
+    minLevel_ = minLevel;
+    open_.store(true, std::memory_order_relaxed);
+}
+
+void
+EventLog::emit(EventLevel level, std::string_view event,
+               const EventFields &fields)
+{
+    if (!enabled(level))
+        return;
+    const double tsMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%.3f", tsMs);
+    std::string line;
+    line.reserve(64 + fields.rendered().size());
+    line += "{\"ts\":";
+    line += ts;
+    line += ",\"level\":";
+    line += jsonEscape(eventLevelName(level));
+    line += ",\"event\":";
+    line += jsonEscape(event);
+    line += fields.rendered();
+    line += "}\n";
+    std::lock_guard lock(mutex_);
+    out_ << line;
+    out_.flush();
+    lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace risc1::obs

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The server-wide telemetry registry (docs/OBSERVABILITY.md).
+ *
+ * Where obs/metrics.hh carries one batch's (or one session's)
+ * wall-clock observations as plain structs, this file is the
+ * *process-wide* side of observability: named counters, gauges, and
+ * log-bucketed latency histograms that long-lived services
+ * (riscserved, docs/SERVER.md) mutate from many threads and export on
+ * demand — as JSON through the `telemetry` protocol command and as
+ * Prometheus-style text exposition for standard scrapers.
+ *
+ * Design rules:
+ *
+ *  - Lock-cheap mutation.  Instrumented code resolves its Counter /
+ *    Gauge / Histogram handles once (registration takes the registry
+ *    mutex); every record afterwards is a handful of relaxed atomic
+ *    operations.  No lock is ever taken on a request hot path.
+ *
+ *  - Fixed histogram bucket layout.  Every Histogram shares one
+ *    compile-time log-linear layout (8 sub-buckets per power of two),
+ *    so merging histograms across sessions — or, later, shards — is
+ *    plain element-wise addition, and merge is associative by
+ *    construction (tests/test_obs_registry.cc pins this).
+ *
+ *  - One quantile definition.  percentileSorted() is the exact
+ *    linear-interpolation percentile over sorted samples; both the
+ *    riscload client and HistogramSnapshot::quantile() (which
+ *    interpolates inside a bucket the same way) use it, so
+ *    client-observed and server-observed p99 are comparable numbers.
+ */
+
+#ifndef RISC1_OBS_REGISTRY_HH
+#define RISC1_OBS_REGISTRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1 {
+class JsonWriter;
+} // namespace risc1
+
+namespace risc1::obs {
+
+/**
+ * Exact percentile of @p sorted (ascending) samples with linear
+ * interpolation between adjacent ranks; 0 for an empty vector.
+ * @p p is in [0, 1].  This is THE percentile definition shared by the
+ * riscload client and the server-side histogram quantiles.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Monotonically increasing event count (relaxed atomic add). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * A point-in-time level (queue depth, resident bytes, utilization).
+ * Typically refreshed by a Registry collect hook just before export.
+ */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+class Histogram;
+
+/**
+ * A consistent-enough copy of one histogram's state, and the place
+ * quantiles are computed.  Also the merge unit: merging snapshots is
+ * element-wise addition over the shared fixed bucket layout.
+ */
+struct HistogramSnapshot
+{
+    /** Per-bucket counts in the fixed layout (see Histogram). */
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< smallest recorded value (0 when empty)
+    std::uint64_t max = 0;  ///< largest recorded value
+
+    /**
+     * Quantile estimate for @p p in [0, 1]: walk the cumulative
+     * counts to the bucket holding rank p*(count-1), then linearly
+     * interpolate inside it (the same rank/interpolation rule as
+     * percentileSorted).  Clamped to [min, max]; p=0 / p=1 return the
+     * exact min / max.
+     */
+    double quantile(double p) const;
+
+    double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+    /** Element-wise addition; associative and commutative. */
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
+ * A lock-free log-linear histogram of unsigned 64-bit values
+ * (latencies are recorded in nanoseconds, sizes in bytes).
+ *
+ * Fixed bucket layout, identical for every instance:
+ *   - values 0..7 get exact buckets (index == value);
+ *   - each power-of-two octave [2^k, 2^(k+1)) for k in 3..63 is split
+ *     into 8 equal sub-buckets of width 2^(k-3).
+ * Worst-case relative bucket width is 1/8, so quantiles interpolated
+ * inside a bucket are within ~12.5% of the exact sample percentile.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kSubBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 8
+    static constexpr unsigned kBuckets =
+        kSubBuckets + (64 - kSubBits) * kSubBuckets;  // 496
+
+    /** Bucket index for @p value (total function over uint64). */
+    static unsigned bucketIndex(std::uint64_t value);
+
+    /** Smallest value mapping to bucket @p index. */
+    static std::uint64_t bucketLo(unsigned index);
+
+    /** Largest value mapping to bucket @p index (inclusive). */
+    static std::uint64_t bucketHi(unsigned index);
+
+    void record(std::uint64_t value);
+
+    HistogramSnapshot snapshot() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t(0)};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * The named-metric table.  Registration (counter()/gauge()/
+ * histogram()) takes a mutex and returns a stable reference the
+ * caller keeps; export (writeJson()/prometheus()) runs the collect
+ * hooks (so gauges are fresh), then renders every metric in name
+ * order.  Metric names use dots ("server.requests", "cmd.run.ns");
+ * the Prometheus rendering maps them to underscores.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find-or-create; the returned reference lives as long as the
+     *  registry. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /**
+     * Register a hook run (in registration order) at the start of
+     * every export — the place a service samples its queue depths and
+     * fleet memory into gauges.
+     */
+    void onCollect(std::function<void()> hook);
+
+    /** Run the collect hooks without exporting (tests). */
+    void collect();
+
+    /**
+     * Write the whole registry as the value of an already-emitted
+     * key: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+     * with every map in name order and each histogram carrying count/
+     * sum/min/max/mean/p50/p90/p99 plus its non-empty buckets.
+     */
+    void writeJson(JsonWriter &w);
+
+    /**
+     * Prometheus text exposition: counters as `<prefix>_<name>_total`,
+     * gauges as `<prefix>_<name>`, histograms as the standard
+     * cumulative `_bucket{le="..."}`/`_sum`/`_count` triple (only
+     * non-empty buckets are listed, plus the mandatory `+Inf`).
+     */
+    std::string prometheus(std::string_view prefix = "riscserved");
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+    std::vector<std::function<void()>> collectHooks_;
+};
+
+/** Event-log severity; a log drops events below its configured level. */
+enum class EventLevel : std::uint8_t
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+};
+
+std::string_view eventLevelName(EventLevel level);
+
+/** Parse "debug"/"info"/"warn".  @throws FatalError otherwise. */
+EventLevel parseEventLevel(std::string_view name);
+
+/**
+ * Builds the variable fields of one event-log line.  Values are
+ * JSON-escaped; field order is emission order.
+ */
+class EventFields
+{
+  public:
+    EventFields &field(std::string_view key, std::string_view value);
+    EventFields &field(std::string_view key, const char *value)
+    {
+        return field(key, std::string_view(value));
+    }
+    EventFields &field(std::string_view key, std::uint64_t value);
+    EventFields &field(std::string_view key, std::int64_t value);
+    EventFields &field(std::string_view key, double value);
+    EventFields &field(std::string_view key, bool value);
+
+    const std::string &rendered() const { return out_; }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * A mutex-guarded structured JSONL event log: one self-contained JSON
+ * object per line, `{"ts": <unix ms>, "level": "...", "event": "...",
+ * ...fields}`, flushed per line so a crash loses at most the line
+ * being written.  Disabled (every emit a no-op) until open() is
+ * called — the no-sink configuration costs one relaxed load.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** Start appending to @p path.  @throws FatalError on I/O error. */
+    void open(const std::string &path,
+              EventLevel minLevel = EventLevel::Info);
+
+    /** True when open and @p level clears the configured threshold —
+     *  check before building expensive fields. */
+    bool enabled(EventLevel level) const
+    {
+        return open_.load(std::memory_order_relaxed) &&
+               level >= minLevel_;
+    }
+
+    /** Append one event line; silently dropped when not enabled(). */
+    void emit(EventLevel level, std::string_view event,
+              const EventFields &fields = EventFields{});
+
+    /** Lines emitted (post-filter) since open(). */
+    std::uint64_t linesWritten() const
+    {
+        return lines_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> open_{false};
+    EventLevel minLevel_ = EventLevel::Info;
+    std::mutex mutex_;
+    std::ofstream out_;
+    std::atomic<std::uint64_t> lines_{0};
+};
+
+} // namespace risc1::obs
+
+#endif // RISC1_OBS_REGISTRY_HH

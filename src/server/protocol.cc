@@ -24,6 +24,25 @@ msSince(Clock::time_point from)
         .count();
 }
 
+std::uint64_t
+nsSince(Clock::time_point from)
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - from)
+            .count());
+}
+
+/** Commands with pre-registered latency histograms; anything else
+ *  (including unparsable requests) lands in "cmd.other.ns". */
+constexpr const char *kCommands[] = {
+    "ping", "info", "telemetry", "create", "destroy", "step", "run",
+    "peek", "regs", "stats", "snapshot", "fork", "evict", "drop",
+};
+
+/** Longest request echo a slow.command event carries. */
+constexpr std::size_t kSlowEchoBytes = 256;
+
 /** Most words one `peek` may read (keeps responses frame-sized). */
 constexpr std::uint64_t kMaxPeekWords = 1024;
 
@@ -79,10 +98,114 @@ errorPayload(std::string_view message)
 
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
-      sessions_(config_.spoolDir, config_.maxSessions),
+      sessions_(config_.spoolDir, config_.maxSessions, &registry_,
+                &eventLog_),
       engine_(config_.workers, config_.engineQueue)
 {
+    if (!config_.eventLogPath.empty())
+        eventLog_.open(config_.eventLogPath,
+                       obs::parseEventLevel(config_.eventLogLevel));
+
+    requests_ = &registry_.counter("server.requests");
+    errors_ = &registry_.counter("server.errors");
+    bytesIn_ = &registry_.counter("server.bytesIn");
+    bytesOut_ = &registry_.counter("server.bytesOut");
+    slowCommands_ = &registry_.counter("server.slowCommands");
+    schedTurns_ = &registry_.counter("sched.turns");
+    schedQueueWaitNs_ = &registry_.histogram("sched.queueWait.ns");
+    schedTurnNs_ = &registry_.histogram("sched.turn.ns");
+    for (const char *cmd : kCommands)
+        cmdHistograms_.emplace(cmd,
+                               &registry_.histogram(
+                                   cat("cmd.", cmd, ".ns")));
+    cmdOtherNs_ = &registry_.histogram("cmd.other.ns");
+    registry_.onCollect([this] { collectGauges(); });
+
+    if (eventLog_.enabled(obs::EventLevel::Info))
+        eventLog_.emit(obs::EventLevel::Info, "server.start",
+                       obs::EventFields{}
+                           .field("version", kServerVersion)
+                           .field("workers",
+                                  std::uint64_t(engine_.workers()))
+                           .field("quota", config_.quota));
+
     sweeper_ = std::thread(&Service::sweepLoop, this);
+}
+
+std::uint64_t
+Service::uptimeMs() const
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - startTime_)
+            .count());
+}
+
+obs::Histogram &
+Service::commandHistogram(std::string_view cmd)
+{
+    // The table is immutable after construction, so no lock is needed.
+    const auto it = cmdHistograms_.find(std::string(cmd));
+    return it != cmdHistograms_.end() ? *it->second : *cmdOtherNs_;
+}
+
+void
+Service::finishCommand(std::string_view cmd, Clock::time_point t0,
+                       const std::string &request,
+                       const std::string &payload)
+{
+    const std::uint64_t ns = nsSince(t0);
+    commandHistogram(cmd).record(ns);
+    bytesOut_->add(payload.size());
+    // errorPayload() renders a fixed prefix; cheaper than re-parsing.
+    static const std::string errPrefix =
+        errorPayload("x").substr(0, 14);
+    if (payload.compare(0, errPrefix.size(), errPrefix) == 0)
+        errors_->add(1);
+    const double ms = double(ns) / 1e6;
+    if (config_.slowMs > 0.0 && ms >= config_.slowMs) {
+        slowCommands_->add(1);
+        if (eventLog_.enabled(obs::EventLevel::Warn)) {
+            const std::string_view echo =
+                std::string_view(request).substr(0, kSlowEchoBytes);
+            eventLog_.emit(obs::EventLevel::Warn, "slow.command",
+                           obs::EventFields{}
+                               .field("cmd", cmd)
+                               .field("ms", ms)
+                               .field("thresholdMs", config_.slowMs)
+                               .field("truncated",
+                                      request.size() > echo.size())
+                               .field("request", echo));
+        }
+    }
+}
+
+void
+Service::collectGauges()
+{
+    const SessionCounts c = sessions_.counts();
+    registry_.gauge("sessions.alive").set(double(c.sessions));
+    registry_.gauge("sessions.resident").set(double(c.resident));
+    registry_.gauge("sessions.evicted").set(double(c.evicted));
+    registry_.gauge("sessions.snapshots").set(double(c.snapshots));
+    registry_.gauge("fleet.residentBytes").set(double(c.residentBytes));
+    registry_.gauge("fleet.sharedBytes").set(double(c.sharedBytes));
+
+    const std::size_t active = engine_.activeTasks();
+    registry_.gauge("engine.queueDepth")
+        .set(double(engine_.queueDepth()));
+    registry_.gauge("engine.activeTasks").set(double(active));
+    registry_.gauge("engine.utilization")
+        .set(engine_.workers() != 0
+                 ? double(active) / double(engine_.workers())
+                 : 0.0);
+    registry_.gauge("engine.tasksExecuted")
+        .set(double(engine_.tasksExecuted()));
+
+    std::lock_guard sched(schedMutex_);
+    registry_.gauge("runs.ready").set(double(ready_.size()));
+    registry_.gauge("runs.inFlight").set(double(inFlight_));
+    registry_.gauge("runs.pending").set(double(pendingRuns_));
 }
 
 Service::~Service()
@@ -93,6 +216,11 @@ Service::~Service()
 void
 Service::execute(const std::string &requestJson, ReplyFn reply)
 {
+    const auto t0 = Clock::now();
+    requests_->add(1);
+    bytesIn_->add(requestJson.size());
+
+    std::string cmd;
     std::string payload;
     try {
         if (stopping_.load(std::memory_order_acquire))
@@ -101,18 +229,29 @@ Service::execute(const std::string &requestJson, ReplyFn reply)
         if (!req.isObject())
             fatal(cat("request must be a JSON object, got ",
                       JsonValue::kindName(req.kind())));
-        const std::string cmd = req.stringOr("cmd", "");
+        cmd = req.stringOr("cmd", "");
         if (cmd.empty())
             fatal("request missing 'cmd'");
 
         if (cmd == "run") {
-            cmdRun(req, reply); // owns the (possibly deferred) reply
+            // A run replies asynchronously from its final engine turn;
+            // wrap the reply so accept-to-final-reply latency lands in
+            // cmd.run.ns — the same interval the client measures.
+            ReplyFn wrapped = [this, t0, requestJson,
+                               inner = std::move(reply)](
+                                  std::string runPayload) {
+                finishCommand("run", t0, requestJson, runPayload);
+                inner(std::move(runPayload));
+            };
+            cmdRun(req, wrapped); // owns the (possibly deferred) reply
             return;
         }
         if (cmd == "ping")
             payload = cmdPing();
         else if (cmd == "info")
             payload = cmdInfo();
+        else if (cmd == "telemetry")
+            payload = cmdTelemetry(req);
         else if (cmd == "create")
             payload = cmdCreate(req);
         else if (cmd == "destroy")
@@ -138,6 +277,7 @@ Service::execute(const std::string &requestJson, ReplyFn reply)
     } catch (const std::exception &e) {
         payload = errorPayload(e.what());
     }
+    finishCommand(cmd, t0, requestJson, payload);
     reply(std::move(payload));
 }
 
@@ -166,8 +306,9 @@ Service::cmdInfo()
     JsonWriter w;
     w.beginObject()
         .field("ok", true)
-        .field("server", "riscserved")
+        .field("server", kServerName)
         .field("protocolVersion", std::uint64_t(1))
+        .field("uptimeMs", uptimeMs())
         .field("workers", std::uint64_t(engine_.workers()))
         .field("queueDepth", std::uint64_t(engine_.queueDepth()))
         .field("queueCapacity", std::uint64_t(engine_.capacity()))
@@ -197,6 +338,46 @@ Service::cmdInfo()
         .field("ready", std::uint64_t(ready))
         .field("inFlight", std::uint64_t(inFlight))
         .endObject();
+    // Lifetime command totals (the registry's server.* counters) and
+    // build identity, so one `info` answers "what is this daemon and
+    // how much has it served".
+    w.key("commands")
+        .beginObject()
+        .field("total", requests_->value())
+        .field("errors", errors_->value())
+        .field("bytesIn", bytesIn_->value())
+        .field("bytesOut", bytesOut_->value())
+        .endObject();
+    w.key("build")
+        .beginObject()
+        .field("name", kServerName)
+        .field("version", kServerVersion)
+        .field("compiler", __VERSION__)
+        .endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Service::cmdTelemetry(const JsonValue &req)
+{
+    const std::string format = req.stringOr("format", "json");
+    if (format == "prometheus") {
+        JsonWriter w;
+        w.beginObject()
+            .field("ok", true)
+            .field("format", "prometheus")
+            .field("exposition", registry_.prometheus())
+            .endObject();
+        return w.str();
+    }
+    if (format != "json")
+        fatal(cat("telemetry: unknown format '", format,
+                  "' (expected json or prometheus)"));
+    JsonWriter w;
+    w.beginObject().field("ok", true).field("uptimeMs", uptimeMs());
+    w.key("telemetry");
+    registry_.writeJson(w);
     w.endObject();
     return w.str();
 }
@@ -354,6 +535,7 @@ Service::cmdRun(const JsonValue &req, ReplyFn &reply)
         session->run.remaining = maxSteps;
         session->run.executed = 0;
         session->run.reply = std::move(reply);
+        session->run.enqueuedAt = Clock::now();
     } catch (const std::exception &e) {
         reply(errorPayload(e.what()));
         return;
@@ -576,6 +758,8 @@ Service::runTurn(const std::shared_ptr<Session> &session)
             session->runActive = false;
         } else {
             try {
+                schedQueueWaitNs_->record(
+                    nsSince(session->run.enqueuedAt));
                 sessions_.ensureResident(*session);
                 const std::uint64_t quota =
                     std::min(config_.quota, session->run.remaining);
@@ -583,6 +767,8 @@ Service::runTurn(const std::shared_ptr<Session> &session)
                 const RunOutcome out =
                     session->target->run(quota, session->cfg.fast);
                 session->metrics.execMs += msSince(t0);
+                schedTurnNs_->record(nsSince(t0));
+                schedTurns_->add(1);
                 ++session->metrics.turns;
                 session->metrics.steps += out.steps;
                 session->run.executed += out.steps;
@@ -603,6 +789,7 @@ Service::runTurn(const std::shared_ptr<Session> &session)
                     reply = std::move(session->run.reply);
                     session->runActive = false;
                 } else {
+                    session->run.enqueuedAt = Clock::now();
                     requeue = true;
                 }
             } catch (const std::exception &e) {
@@ -667,14 +854,23 @@ void
 Service::stop()
 {
     std::deque<std::shared_ptr<Session>> drain;
+    bool first = false;
     {
         std::lock_guard sched(schedMutex_);
-        if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+        if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+            first = true;
+        } else {
             // Another stop() is (or was) in flight; fall through to
             // the joins, which are themselves idempotent.
         }
         drain.swap(ready_);
     }
+    if (first && eventLog_.enabled(obs::EventLevel::Info))
+        eventLog_.emit(obs::EventLevel::Info, "server.stop",
+                       obs::EventFields{}
+                           .field("uptimeMs", uptimeMs())
+                           .field("requests", requests_->value())
+                           .field("errors", errors_->value()));
 
     // Runs still queued outside the engine never got a turn: fail them
     // here.  Runs already inside the engine are failed by their own

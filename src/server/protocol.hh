@@ -30,6 +30,7 @@
 #define RISC1_SERVER_PROTOCOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,7 +39,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
+#include "obs/registry.hh"
 #include "server/session.hh"
 #include "sim/engine.hh"
 
@@ -47,6 +50,10 @@ class JsonValue;
 } // namespace risc1
 
 namespace risc1::server {
+
+/** Build identity reported by `info` and the event log. */
+inline constexpr std::string_view kServerName = "riscserved";
+inline constexpr std::string_view kServerVersion = "0.9.0";
 
 /** Tunables for one Service instance (riscserved's flag surface). */
 struct ServiceConfig
@@ -88,6 +95,19 @@ struct ServiceConfig
     /** Concurrent pending `run` cap; 0 = bounded by maxSessions only
      *  (each session can have at most one run in flight). */
     std::size_t maxPendingRuns = 0;
+
+    /** JSONL event-log path (docs/OBSERVABILITY.md); empty = no log. */
+    std::string eventLogPath;
+
+    /** Minimum level written to the event log: debug|info|warn. */
+    std::string eventLogLevel = "info";
+
+    /**
+     * Commands slower than this (accept-to-reply, milliseconds) are
+     * logged as `slow.command` warn events with the offending request
+     * echoed.  0 = disabled.
+     */
+    double slowMs = 0.0;
 };
 
 /** Completion callback: receives the JSON response payload. */
@@ -129,10 +149,20 @@ class Service
     SessionManager &sessions() { return sessions_; }
     sim::Engine &engine() { return engine_; }
 
+    /** The process-wide metrics table every layer reports through. */
+    obs::Registry &registry() { return registry_; }
+
+    /** The structured JSONL event log (no-op unless configured). */
+    obs::EventLog &eventLog() { return eventLog_; }
+
+    /** Milliseconds since this Service was constructed. */
+    std::uint64_t uptimeMs() const;
+
   private:
     // Immediate command handlers; return the response payload.
     std::string cmdPing() const;
     std::string cmdInfo();
+    std::string cmdTelemetry(const JsonValue &req);
     std::string cmdCreate(const JsonValue &req);
     std::string cmdDestroy(const JsonValue &req);
     std::string cmdStep(const JsonValue &req);
@@ -164,9 +194,46 @@ class Service
     void sweepLoop();
     void sweepOnce();
 
+    /** Per-command latency histogram handle ("cmd.<name>.ns"). */
+    obs::Histogram &commandHistogram(std::string_view cmd);
+
+    /**
+     * Record one finished command: latency into its histogram, reply
+     * size into server.bytesOut, errors into server.errors, and a
+     * `slow.command` event when the --slow-ms threshold is crossed.
+     */
+    void finishCommand(std::string_view cmd,
+                       std::chrono::steady_clock::time_point t0,
+                       const std::string &request,
+                       const std::string &payload);
+
+    /** Sample queue depths, fleet memory etc. into gauges (the
+     *  registry collect hook). */
+    void collectGauges();
+
     const ServiceConfig config_;
+
+    // Telemetry sinks are declared before sessions_ so the manager can
+    // hold handles into them for its whole lifetime.
+    obs::Registry registry_;
+    obs::EventLog eventLog_;
+    const std::chrono::steady_clock::time_point startTime_ =
+        std::chrono::steady_clock::now();
+
     SessionManager sessions_;
     sim::Engine engine_;
+
+    // Hot-path metric handles, resolved once at construction.
+    obs::Counter *requests_ = nullptr;
+    obs::Counter *errors_ = nullptr;
+    obs::Counter *bytesIn_ = nullptr;
+    obs::Counter *bytesOut_ = nullptr;
+    obs::Counter *slowCommands_ = nullptr;
+    obs::Counter *schedTurns_ = nullptr;
+    obs::Histogram *schedQueueWaitNs_ = nullptr;
+    obs::Histogram *schedTurnNs_ = nullptr;
+    std::unordered_map<std::string, obs::Histogram *> cmdHistograms_;
+    obs::Histogram *cmdOtherNs_ = nullptr;
 
     std::atomic<bool> stopping_{false};
 

@@ -8,9 +8,32 @@
 
 namespace risc1::server {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsSince(Clock::time_point from)
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - from)
+            .count());
+}
+
+} // namespace
+
 SessionManager::SessionManager(std::string spoolDir,
-                               std::size_t maxSessions)
-    : spoolDir_(std::move(spoolDir)), maxSessions_(maxSessions)
+                               std::size_t maxSessions,
+                               obs::Registry *registry,
+                               obs::EventLog *events)
+    : spoolDir_(std::move(spoolDir)),
+      maxSessions_(maxSessions),
+      events_(events),
+      evictNs_(registry ? &registry->histogram("session.evict.ns")
+                        : nullptr),
+      restoreNs_(registry ? &registry->histogram("session.restore.ns")
+                          : nullptr)
 {
 }
 
@@ -26,6 +49,11 @@ SessionManager::create(SessionConfig cfg)
     session->lastActive = std::chrono::steady_clock::now();
     sessions_.emplace(id, session);
     ++created_;
+    if (events_ && events_->enabled(obs::EventLevel::Info))
+        events_->emit(obs::EventLevel::Info, "session.create",
+                      obs::EventFields{}
+                          .field("session", id)
+                          .field("backend", session->cfg.backend));
     return session;
 }
 
@@ -47,9 +75,14 @@ SessionManager::destroy(Session &session)
         std::filesystem::remove(session.spoolPath, ec);
         session.spoolPath.clear();
     }
-    std::lock_guard lock(mutex_);
-    sessions_.erase(session.id);
-    ++destroyedCount_;
+    {
+        std::lock_guard lock(mutex_);
+        sessions_.erase(session.id);
+        ++destroyedCount_;
+    }
+    if (events_ && events_->enabled(obs::EventLevel::Info))
+        events_->emit(obs::EventLevel::Info, "session.destroy",
+                      obs::EventFields{}.field("session", session.id));
 }
 
 void
@@ -57,6 +90,7 @@ SessionManager::evict(Session &session)
 {
     if (!session.target)
         return;
+    const auto t0 = Clock::now();
     std::filesystem::create_directories(spoolDir_);
     const std::string path =
         (std::filesystem::path(spoolDir_) / (session.id + ".snap"))
@@ -65,6 +99,14 @@ SessionManager::evict(Session &session)
     session.target.reset();
     session.spoolPath = path;
     ++session.metrics.evictions;
+    const std::uint64_t ns = nsSince(t0);
+    if (evictNs_)
+        evictNs_->record(ns);
+    if (events_ && events_->enabled(obs::EventLevel::Info))
+        events_->emit(obs::EventLevel::Info, "session.evict",
+                      obs::EventFields{}
+                          .field("session", session.id)
+                          .field("ns", ns));
     std::lock_guard lock(mutex_);
     ++evictions_;
 }
@@ -77,6 +119,7 @@ SessionManager::ensureResident(Session &session)
     if (session.spoolPath.empty())
         panic(cat("session ", session.id,
                   " has neither a live target nor a spool file"));
+    const auto t0 = Clock::now();
     const auto snap = target::readSnapshotFile(session.spoolPath);
     auto target =
         target::makeTarget(session.cfg.backend, session.cfg.options);
@@ -86,6 +129,14 @@ SessionManager::ensureResident(Session &session)
     std::filesystem::remove(session.spoolPath, ec);
     session.spoolPath.clear();
     ++session.metrics.restores;
+    const std::uint64_t ns = nsSince(t0);
+    if (restoreNs_)
+        restoreNs_->record(ns);
+    if (events_ && events_->enabled(obs::EventLevel::Info))
+        events_->emit(obs::EventLevel::Info, "session.restore",
+                      obs::EventFields{}
+                          .field("session", session.id)
+                          .field("ns", ns));
     std::lock_guard lock(mutex_);
     ++restores_;
 }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/registry.hh"
 #include "target/target.hh"
 
 namespace risc1::server {
@@ -54,6 +55,9 @@ struct PendingRun
     std::uint64_t executed = 0;   ///< steps retired by earlier turns
     /** Completion callback: receives the JSON response payload. */
     std::function<void(std::string)> reply;
+    /** When the session (re)joined the ready queue, for the
+     *  sched.queueWait.ns histogram. */
+    std::chrono::steady_clock::time_point enqueuedAt{};
 };
 
 /** One resident (or spooled) machine session. */
@@ -130,7 +134,15 @@ struct SessionCounts
 class SessionManager
 {
   public:
-    SessionManager(std::string spoolDir, std::size_t maxSessions);
+    /**
+     * @p registry / @p events are optional telemetry sinks (owned by
+     * the Service, which outlives the manager): eviction and restore
+     * timings land in `session.evict.ns` / `session.restore.ns`, and
+     * session lifecycle transitions are logged as structured events.
+     */
+    SessionManager(std::string spoolDir, std::size_t maxSessions,
+                   obs::Registry *registry = nullptr,
+                   obs::EventLog *events = nullptr);
 
     /**
      * Allocate a session id and register a new session.
@@ -182,6 +194,9 @@ class SessionManager
   private:
     const std::string spoolDir_;
     const std::size_t maxSessions_;
+    obs::EventLog *const events_;         ///< may be null (no sink)
+    obs::Histogram *const evictNs_;       ///< null iff no registry
+    obs::Histogram *const restoreNs_;     ///< null iff no registry
 
     mutable std::mutex mutex_;
     std::uint64_t nextSessionId_ = 1;

@@ -134,6 +134,13 @@ Engine::activeTasks() const
     return active_;
 }
 
+std::uint64_t
+Engine::tasksExecuted() const
+{
+    std::lock_guard lock(mutex_);
+    return executed_;
+}
+
 void
 Engine::drain()
 {
@@ -186,6 +193,7 @@ Engine::workerLoop()
         {
             std::lock_guard lock(mutex_);
             --active_;
+            ++executed_;
             if (tasks_.empty() && active_ == 0)
                 idle_.notify_all();
         }

@@ -133,6 +133,9 @@ class Engine
     /** Tasks currently executing on workers. */
     std::size_t activeTasks() const;
 
+    /** Lifetime count of tasks run to completion (telemetry). */
+    std::uint64_t tasksExecuted() const;
+
     /** Queue capacity (the trySubmit refusal threshold). */
     std::size_t capacity() const { return maxQueue_; }
 
@@ -158,6 +161,7 @@ class Engine
     std::deque<Task> tasks_;
     std::size_t maxQueue_;
     std::size_t active_ = 0;
+    std::uint64_t executed_ = 0;
     bool stopping_ = false;
     unsigned workerCount_ = 0;
     std::vector<std::thread> threads_;

@@ -1,0 +1,398 @@
+/**
+ * Tests for the telemetry registry (obs/registry.hh): the fixed
+ * log-linear histogram layout, quantile interpolation against the
+ * exact percentileSorted definition, concurrent-writer determinism of
+ * totals, merge associativity, the registry's two export formats, and
+ * the JSONL event log.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/json_value.hh"
+#include "common/logging.hh"
+#include "obs/registry.hh"
+
+using namespace risc1;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+
+namespace {
+
+// ------------------------------------------------------- bucket layout
+
+TEST(HistogramLayout, SmallValuesGetExactBuckets)
+{
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLo(unsigned(v)), v);
+        EXPECT_EQ(Histogram::bucketHi(unsigned(v)), v);
+    }
+}
+
+TEST(HistogramLayout, OctaveBoundaryPins)
+{
+    // First octave: [8, 16) splits into 8 sub-buckets of width 1.
+    EXPECT_EQ(Histogram::bucketIndex(8), 8u);
+    EXPECT_EQ(Histogram::bucketIndex(15), 15u);
+    // [16, 32) splits into sub-buckets of width 2.
+    EXPECT_EQ(Histogram::bucketIndex(16), 16u);
+    EXPECT_EQ(Histogram::bucketIndex(17), 16u);
+    EXPECT_EQ(Histogram::bucketIndex(18), 17u);
+    EXPECT_EQ(Histogram::bucketIndex(31), 23u);
+    // Octave k contributes buckets 8 + (k-3)*8 .. +7.
+    EXPECT_EQ(Histogram::bucketIndex(1024), 8u + (10 - 3) * 8);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 8u + (9 - 3) * 8 + 7);
+    // The top bucket covers up to UINT64_MAX exactly (no overflow).
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t(0)),
+              Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketHi(Histogram::kBuckets - 1),
+              ~std::uint64_t(0));
+}
+
+TEST(HistogramLayout, LoHiRoundTripEveryBucket)
+{
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLo(i);
+        const std::uint64_t hi = Histogram::bucketHi(i);
+        ASSERT_LE(lo, hi);
+        EXPECT_EQ(Histogram::bucketIndex(lo), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi), i);
+        if (i + 1 < Histogram::kBuckets) {
+            EXPECT_EQ(Histogram::bucketLo(i + 1), hi + 1)
+                << "gap after bucket " << i;
+        }
+    }
+}
+
+TEST(HistogramLayout, RelativeWidthBounded)
+{
+    // Every bucket holding values >= 8 is at most 12.5% wide relative
+    // to its lower bound — the quantile error bound.
+    for (unsigned i = 8; i < Histogram::kBuckets; ++i) {
+        const double lo = double(Histogram::bucketLo(i));
+        const double hi = double(Histogram::bucketHi(i));
+        EXPECT_LE((hi - lo) / lo, 0.125 + 1e-9) << "bucket " << i;
+    }
+}
+
+// ------------------------------------------------------------ quantiles
+
+TEST(Percentile, MatchesManualInterpolation)
+{
+    const std::vector<double> sorted{1.0, 2.0, 4.0, 8.0};
+    EXPECT_DOUBLE_EQ(obs::percentileSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::percentileSorted(sorted, 1.0), 8.0);
+    // rank 1.5 -> halfway between 2 and 4.
+    EXPECT_DOUBLE_EQ(obs::percentileSorted(sorted, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(obs::percentileSorted({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(obs::percentileSorted({7.0}, 0.99), 7.0);
+}
+
+TEST(HistogramQuantile, ExactMinMaxAtExtremes)
+{
+    Histogram h;
+    for (const std::uint64_t v : {13u, 999u, 1000001u})
+        h.record(v);
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.min, 13u);
+    EXPECT_EQ(snap.max, 1000001u);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 13.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000001.0);
+    EXPECT_DOUBLE_EQ(snap.mean(), double(13 + 999 + 1000001) / 3.0);
+}
+
+TEST(HistogramQuantile, TracksExactPercentilesWithinBucketWidth)
+{
+    // Log-uniform samples over ~5 decades: the histogram quantile must
+    // stay within the worst-case bucket width (12.5%) of the exact
+    // sorted-sample percentile at every probed p.
+    std::uint64_t x = 88172645463325252ull;
+    const auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    Histogram h;
+    std::vector<double> exact;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = 1 + next() % 100000;
+        h.record(v);
+        exact.push_back(double(v));
+    }
+    std::sort(exact.begin(), exact.end());
+    const HistogramSnapshot snap = h.snapshot();
+    for (const double p : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999}) {
+        const double want = obs::percentileSorted(exact, p);
+        const double got = snap.quantile(p);
+        EXPECT_NEAR(got, want, want * 0.13 + 1.0)
+            << "p=" << p;
+    }
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    const HistogramSnapshot snap = Histogram{}.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+}
+
+// ------------------------------------------------- concurrent recording
+
+TEST(HistogramConcurrency, TotalsDeterministicAcrossWriters)
+{
+    // N threads each record the same fixed sequence; count/sum/min/max
+    // and every bucket must equal the serial result exactly —
+    // relaxed-atomic adds lose nothing.
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+
+    Histogram concurrent;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&concurrent, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                concurrent.record((i * 2654435761u + t) % 1000000);
+        });
+    for (auto &th : threads)
+        th.join();
+
+    Histogram serial;
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (std::uint64_t i = 0; i < kPerThread; ++i)
+            serial.record((i * 2654435761u + t) % 1000000);
+
+    const HistogramSnapshot a = concurrent.snapshot();
+    const HistogramSnapshot b = serial.snapshot();
+    EXPECT_EQ(a.count, kThreads * kPerThread);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.buckets, b.buckets);
+}
+
+// ----------------------------------------------------------------- merge
+
+HistogramSnapshot
+snapOf(const std::vector<std::uint64_t> &values)
+{
+    Histogram h;
+    for (const std::uint64_t v : values)
+        h.record(v);
+    return h.snapshot();
+}
+
+void
+expectEqualSnapshots(const HistogramSnapshot &a, const HistogramSnapshot &b)
+{
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(HistogramMerge, AssociativeAndMatchesCombinedRecording)
+{
+    const std::vector<std::uint64_t> xs{1, 5, 17, 900, 4096};
+    const std::vector<std::uint64_t> ys{0, 2, 1000000, 77};
+    const std::vector<std::uint64_t> zs{123456789, 3};
+
+    // (x + y) + z
+    HistogramSnapshot left = snapOf(xs);
+    left.merge(snapOf(ys));
+    left.merge(snapOf(zs));
+
+    // x + (y + z)
+    HistogramSnapshot right = snapOf(ys);
+    right.merge(snapOf(zs));
+    HistogramSnapshot x = snapOf(xs);
+    x.merge(right);
+
+    expectEqualSnapshots(left, x);
+
+    // Both equal recording everything into one histogram.
+    std::vector<std::uint64_t> all;
+    all.insert(all.end(), xs.begin(), xs.end());
+    all.insert(all.end(), ys.begin(), ys.end());
+    all.insert(all.end(), zs.begin(), zs.end());
+    expectEqualSnapshots(left, snapOf(all));
+}
+
+TEST(HistogramMerge, EmptyIsIdentity)
+{
+    HistogramSnapshot empty = Histogram{}.snapshot();
+    HistogramSnapshot some = snapOf({42, 7});
+    const HistogramSnapshot before = some;
+    some.merge(empty);
+    expectEqualSnapshots(some, before);
+    empty.merge(before);
+    expectEqualSnapshots(empty, before);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, HandlesAreStableAndNamed)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("server.requests");
+    c.add(3);
+    EXPECT_EQ(&reg.counter("server.requests"), &c);
+    EXPECT_EQ(reg.counter("server.requests").value(), 3u);
+    reg.gauge("engine.queueDepth").set(7.5);
+    reg.histogram("cmd.run.ns").record(1000);
+}
+
+TEST(Registry, CollectHooksRefreshGaugesBeforeExport)
+{
+    obs::Registry reg;
+    int calls = 0;
+    reg.onCollect([&reg, &calls] {
+        reg.gauge("sampled").set(double(++calls));
+    });
+    JsonWriter w;
+    reg.writeJson(w);
+    const JsonValue doc = parseJson(w.str());
+    const JsonValue *gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->find("sampled")->asDouble(), 1.0);
+    reg.prometheus();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Registry, JsonExportCarriesQuantilesAndBuckets)
+{
+    obs::Registry reg;
+    reg.counter("server.requests").add(5);
+    obs::Histogram &h = reg.histogram("cmd.step.ns");
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v * 100);
+    JsonWriter w;
+    reg.writeJson(w);
+    const JsonValue doc = parseJson(w.str());
+    EXPECT_EQ(doc.find("counters")->find("server.requests")->asU64(),
+              5u);
+    const JsonValue *hist =
+        doc.find("histograms")->find("cmd.step.ns");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->u64Or("count", 0), 100u);
+    EXPECT_EQ(hist->u64Or("min", 1), 0u);
+    EXPECT_EQ(hist->u64Or("max", 0), 9900u);
+    EXPECT_GT(hist->find("p99")->asDouble(), 8000.0);
+    ASSERT_NE(hist->find("buckets"), nullptr);
+    EXPECT_FALSE(hist->find("buckets")->items().empty());
+}
+
+TEST(Registry, PrometheusExposition)
+{
+    obs::Registry reg;
+    reg.counter("server.requests").add(2);
+    reg.gauge("engine.queueDepth").set(4.0);
+    reg.histogram("cmd.run.ns").record(100);
+    reg.histogram("cmd.run.ns").record(200);
+    const std::string text = reg.prometheus("riscserved");
+
+    EXPECT_NE(text.find("# TYPE riscserved_server_requests_total "
+                        "counter\n"
+                        "riscserved_server_requests_total 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE riscserved_engine_queueDepth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("riscserved_cmd_run_ns_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("riscserved_cmd_run_ns_sum 300"),
+              std::string::npos);
+    EXPECT_NE(text.find("riscserved_cmd_run_ns_count 2"),
+              std::string::npos);
+
+    // Cumulative bucket counts must be monotone non-decreasing.
+    std::istringstream lines(text);
+    std::string line;
+    std::uint64_t last = 0;
+    bool sawBucket = false;
+    while (std::getline(lines, line)) {
+        const std::string marker = "_bucket{le=\"";
+        const auto at = line.find(marker);
+        if (at == std::string::npos)
+            continue;
+        if (line.find("+Inf") != std::string::npos)
+            continue;
+        const std::uint64_t n =
+            std::stoull(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(n, last) << line;
+        last = n;
+        sawBucket = true;
+    }
+    EXPECT_TRUE(sawBucket);
+}
+
+// ------------------------------------------------------------- event log
+
+TEST(EventLevel, ParseAndName)
+{
+    EXPECT_EQ(obs::parseEventLevel("debug"), obs::EventLevel::Debug);
+    EXPECT_EQ(obs::parseEventLevel("info"), obs::EventLevel::Info);
+    EXPECT_EQ(obs::parseEventLevel("warn"), obs::EventLevel::Warn);
+    EXPECT_EQ(obs::eventLevelName(obs::EventLevel::Warn), "warn");
+    EXPECT_THROW(obs::parseEventLevel("loud"), FatalError);
+}
+
+TEST(EventLog, DisabledUntilOpened)
+{
+    obs::EventLog log;
+    EXPECT_FALSE(log.enabled(obs::EventLevel::Warn));
+    log.emit(obs::EventLevel::Warn, "dropped");
+    EXPECT_EQ(log.linesWritten(), 0u);
+}
+
+TEST(EventLog, LeveledJsonlLines)
+{
+    const std::string path = "obs_registry_test_events.jsonl";
+    std::filesystem::remove(path);
+    {
+        obs::EventLog log;
+        log.open(path, obs::EventLevel::Info);
+        log.emit(obs::EventLevel::Debug, "below.threshold");
+        log.emit(obs::EventLevel::Info, "session.create",
+                 obs::EventFields{}
+                     .field("session", "s1")
+                     .field("count", std::uint64_t(3))
+                     .field("ratio", 0.5)
+                     .field("quoted", "a \"b\" c")
+                     .field("flag", true));
+        log.emit(obs::EventLevel::Warn, "slow.command",
+                 obs::EventFields{}.field("ms", 12.5));
+        EXPECT_EQ(log.linesWritten(), 2u);
+    }
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<JsonValue> events;
+    while (std::getline(in, line))
+        events.push_back(parseJson(line)); // each line parses alone
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].stringOr("level", ""), "info");
+    EXPECT_EQ(events[0].stringOr("event", ""), "session.create");
+    EXPECT_EQ(events[0].stringOr("session", ""), "s1");
+    EXPECT_EQ(events[0].u64Or("count", 0), 3u);
+    EXPECT_EQ(events[0].stringOr("quoted", ""), "a \"b\" c");
+    EXPECT_TRUE(events[0].boolOr("flag", false));
+    EXPECT_GT(events[0].find("ts")->asDouble(), 0.0);
+    EXPECT_EQ(events[1].stringOr("event", ""), "slow.command");
+    EXPECT_DOUBLE_EQ(events[1].find("ms")->asDouble(), 12.5);
+    std::filesystem::remove(path);
+}
+
+} // namespace

@@ -6,10 +6,13 @@
  * design; server/server.cc only moves bytes).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -541,7 +544,192 @@ TEST(ServerSession, InfoReportsCounts)
         EXPECT_EQ(info.find("sessions")->u64Or("resident", 0), 2u);
         EXPECT_EQ(info.u64Or("workers", 0), 2u);
         EXPECT_EQ(info.u64Or("protocolVersion", 0), 1u);
+
+        // Observability additions: uptime, command totals, and build
+        // identity (docs/OBSERVABILITY.md).
+        ASSERT_NE(info.find("uptimeMs"), nullptr);
+        const JsonValue *commands = info.find("commands");
+        ASSERT_NE(commands, nullptr);
+        // create + create + this info = 3 requests so far.
+        EXPECT_EQ(commands->u64Or("total", 0), 3u);
+        EXPECT_EQ(commands->u64Or("errors", 1), 0u);
+        EXPECT_GT(commands->u64Or("bytesIn", 0), 0u);
+        EXPECT_GT(commands->u64Or("bytesOut", 0), 0u);
+        const JsonValue *build = info.find("build");
+        ASSERT_NE(build, nullptr);
+        EXPECT_EQ(build->stringOr("name", ""), kServerName);
+        EXPECT_EQ(build->stringOr("version", ""), kServerVersion);
+        EXPECT_FALSE(build->stringOr("compiler", "").empty());
+
+        // Errors are counted too: one bad command, then re-check.
+        d.err("{\"cmd\":\"frobnicate\"}");
+        const JsonValue again = d.ok("{\"cmd\":\"info\"}");
+        EXPECT_EQ(again.find("commands")->u64Or("total", 0), 5u);
+        EXPECT_EQ(again.find("commands")->u64Or("errors", 0), 1u);
     }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, SessionMetricsPinnedAcrossLifecycle)
+{
+    // Pin the per-session lifetime counters through every lifecycle
+    // transition: the exact command count, step total, and — the part
+    // eviction must not break — that a spool round-trip preserves all
+    // of them.
+    const auto cfg = testConfig("metrics");
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", ""); // cmd 1
+        d.ok("{\"cmd\":\"step\",\"session\":\"" + id +
+             "\",\"count\":100}");                           // cmd 2
+        d.ok("{\"cmd\":\"evict\",\"session\":\"" + id + "\"}"); // cmd 3
+        d.ok("{\"cmd\":\"regs\",\"session\":\"" + id + "\"}");  // cmd 4
+        const JsonValue stats =
+            d.ok("{\"cmd\":\"stats\",\"session\":\"" + id + "\"}");
+        const JsonValue *m = stats.find("metrics");
+        ASSERT_NE(m, nullptr);
+        // stats touches before rendering, so it counts itself: 5.
+        EXPECT_EQ(m->u64Or("commands", 0), 5u);
+        EXPECT_EQ(m->u64Or("steps", 0), 100u);
+        EXPECT_EQ(m->u64Or("evictions", 0), 1u);
+        EXPECT_EQ(m->u64Or("restores", 0), 1u)
+            << "regs after evict must transparently restore";
+        EXPECT_EQ(m->u64Or("turns", 1), 0u);
+
+        d.ok("{\"cmd\":\"run\",\"session\":\"" + id +
+             "\",\"maxSteps\":100000000}"); // cmd 6
+        const JsonValue after =
+            d.ok("{\"cmd\":\"stats\",\"session\":\"" + id + "\"}");
+        m = after.find("metrics");
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->u64Or("commands", 0), 7u);
+        EXPECT_GE(m->u64Or("turns", 0), 1u);
+        EXPECT_GT(m->u64Or("steps", 0), 100u);
+        // Lifetime counters survived the evict/restore round-trip.
+        EXPECT_EQ(m->u64Or("evictions", 0), 1u);
+        EXPECT_EQ(m->u64Or("restores", 0), 1u);
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, TelemetryExportsRegistry)
+{
+    const auto cfg = testConfig("telemetry");
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+        d.ok("{\"cmd\":\"step\",\"session\":\"" + id +
+             "\",\"count\":10}");
+        d.ok("{\"cmd\":\"run\",\"session\":\"" + id +
+             "\",\"maxSteps\":100000000}");
+
+        const JsonValue t = d.ok("{\"cmd\":\"telemetry\"}");
+        ASSERT_NE(t.find("uptimeMs"), nullptr);
+        const JsonValue *reg = t.find("telemetry");
+        ASSERT_NE(reg, nullptr);
+
+        const JsonValue *counters = reg->find("counters");
+        ASSERT_NE(counters, nullptr);
+        // create + step + run + this telemetry = 4 requests.
+        EXPECT_EQ(counters->u64Or("server.requests", 0), 4u);
+        EXPECT_EQ(counters->u64Or("server.errors", 1), 0u);
+        EXPECT_GT(counters->u64Or("server.bytesIn", 0), 0u);
+        EXPECT_GE(counters->u64Or("sched.turns", 0), 1u);
+
+        const JsonValue *gauges = reg->find("gauges");
+        ASSERT_NE(gauges, nullptr);
+        EXPECT_EQ(gauges->find("sessions.alive")->asDouble(), 1.0);
+        EXPECT_GT(gauges->find("fleet.residentBytes")->asDouble(), 0.0);
+
+        const JsonValue *hists = reg->find("histograms");
+        ASSERT_NE(hists, nullptr);
+        const JsonValue *stepHist = hists->find("cmd.step.ns");
+        ASSERT_NE(stepHist, nullptr);
+        EXPECT_EQ(stepHist->u64Or("count", 0), 1u);
+        EXPECT_GT(stepHist->find("p99")->asDouble(), 0.0);
+        const JsonValue *runHist = hists->find("cmd.run.ns");
+        ASSERT_NE(runHist, nullptr);
+        EXPECT_EQ(runHist->u64Or("count", 0), 1u);
+        EXPECT_GE(hists->find("sched.turn.ns")->u64Or("count", 0), 1u);
+        EXPECT_GE(hists->find("sched.queueWait.ns")->u64Or("count", 0),
+                  1u);
+
+        // Prometheus exposition over the same command.
+        const JsonValue p =
+            d.ok("{\"cmd\":\"telemetry\",\"format\":\"prometheus\"}");
+        const std::string text = p.stringOr("exposition", "");
+        EXPECT_NE(text.find("# TYPE riscserved_server_requests_total "
+                            "counter"),
+                  std::string::npos);
+        EXPECT_NE(text.find("riscserved_cmd_step_ns_count 1"),
+                  std::string::npos);
+
+        d.err("{\"cmd\":\"telemetry\",\"format\":\"xml\"}");
+    }
+    cleanupSpool(cfg);
+}
+
+TEST(ServerSession, EventLogRecordsLifecycleAndSlowCommands)
+{
+    auto cfg = testConfig("events");
+    cfg.eventLogPath = cfg.spoolDir + "_events.jsonl";
+    cfg.slowMs = 0.000001; // everything is "slow": every command logs
+    {
+        Service service(cfg);
+        Driver d(service);
+        const std::string id =
+            d.ok(createReq("risc")).stringOr("session", "");
+        d.ok("{\"cmd\":\"evict\",\"session\":\"" + id + "\"}");
+        d.ok("{\"cmd\":\"regs\",\"session\":\"" + id + "\"}");
+        d.ok("{\"cmd\":\"destroy\",\"session\":\"" + id + "\"}");
+        service.stop();
+    }
+
+    // Every line is standalone JSON with ts/level/event; the expected
+    // lifecycle events all appear, in order for the session ones.
+    std::ifstream in(cfg.eventLogPath);
+    ASSERT_TRUE(in.is_open());
+    std::vector<std::string> events;
+    std::string line;
+    std::size_t slow = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        const JsonValue v = parseJson(line);
+        EXPECT_GT(v.find("ts")->asDouble(), 0.0);
+        EXPECT_FALSE(v.stringOr("level", "").empty());
+        const std::string event = v.stringOr("event", "");
+        ASSERT_FALSE(event.empty());
+        if (event == "slow.command") {
+            ++slow;
+            EXPECT_EQ(v.stringOr("level", ""), "warn");
+            EXPECT_FALSE(v.stringOr("cmd", "").empty());
+            EXPECT_FALSE(v.stringOr("request", "").empty());
+            EXPECT_GE(v.find("ms")->asDouble(), 0.0);
+        } else {
+            events.push_back(event);
+        }
+    }
+    EXPECT_GE(slow, 4u) << "with slowMs ~ 0 every command is slow";
+    const auto at = [&](const char *name) {
+        return std::find(events.begin(), events.end(), name);
+    };
+    ASSERT_NE(at("server.start"), events.end());
+    ASSERT_NE(at("session.create"), events.end());
+    ASSERT_NE(at("session.evict"), events.end());
+    ASSERT_NE(at("session.restore"), events.end());
+    ASSERT_NE(at("session.destroy"), events.end());
+    ASSERT_NE(at("server.stop"), events.end());
+    EXPECT_LT(at("session.create"), at("session.evict"));
+    EXPECT_LT(at("session.evict"), at("session.restore"));
+    EXPECT_LT(at("session.restore"), at("session.destroy"));
+    EXPECT_LT(at("session.destroy"), at("server.stop"));
+
+    std::error_code ec;
+    std::filesystem::remove(cfg.eventLogPath, ec);
     cleanupSpool(cfg);
 }
 

@@ -118,6 +118,51 @@ TEST(ServerSocket, TcpEphemeralPort)
     EXPECT_EQ(info.u64Or("protocolVersion", 0), kProtocolVersion);
 }
 
+TEST(ServerSocket, InfoAndTelemetryOverTheWire)
+{
+    // The observability surface as a real client sees it: info carries
+    // uptime/command totals/build identity, and telemetry returns the
+    // registry in both JSON and Prometheus form.
+    const std::string path = socketPath("tele");
+    ServerConfig cfg;
+    cfg.unixPath = path;
+    TestDaemon daemon(cfg);
+
+    Client client = Client::connectUnix(path);
+    const std::string id =
+        client
+            .callOk("{\"cmd\":\"create\",\"backend\":\"risc\","
+                    "\"workload\":\"fib_rec\"}")
+            .stringOr("session", "");
+    client.callOk("{\"cmd\":\"run\",\"session\":\"" + id +
+                  "\",\"maxSteps\":100000000}");
+
+    const JsonValue info = client.callOk("{\"cmd\":\"info\"}");
+    ASSERT_NE(info.find("uptimeMs"), nullptr);
+    // create + run + this info = 3 requests, no errors.
+    EXPECT_EQ(info.find("commands")->u64Or("total", 0), 3u);
+    EXPECT_EQ(info.find("commands")->u64Or("errors", 1), 0u);
+    EXPECT_EQ(info.find("build")->stringOr("name", ""), kServerName);
+    EXPECT_EQ(info.find("build")->stringOr("version", ""),
+              kServerVersion);
+
+    const JsonValue t = client.callOk("{\"cmd\":\"telemetry\"}");
+    const JsonValue *counters = t.find("telemetry")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->u64Or("server.requests", 0), 4u);
+    const JsonValue *hists = t.find("telemetry")->find("histograms");
+    EXPECT_EQ(hists->find("cmd.run.ns")->u64Or("count", 0), 1u);
+
+    const std::string text =
+        client
+            .callOk("{\"cmd\":\"telemetry\",\"format\":\"prometheus\"}")
+            .stringOr("exposition", "");
+    EXPECT_NE(text.find("riscserved_server_requests_total 5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE riscserved_cmd_run_ns histogram"),
+              std::string::npos);
+}
+
 TEST(ServerSocket, ServerErrorsAreRepliesNotDisconnects)
 {
     const std::string path = socketPath("err");
